@@ -1,0 +1,594 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Table I bibliographic + empirical companion, Figs. 1-4) and the
+   ablation tables called out in DESIGN.md, then times the artifact
+   generators with bechamel (one Test.make per artifact).
+
+     dune exec bench/main.exe            everything
+     dune exec bench/main.exe -- quick   skip the slow exact mappers   *)
+
+module Table = Ocgra_util.Table
+module Kernels = Ocgra_workloads.Kernels
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* T1a: Table I, bibliographic (generated from the corpus)            *)
+(* ------------------------------------------------------------------ *)
+
+let t1a () =
+  section "Table I (bibliographic): binding and scheduling techniques, from the corpus";
+  print_string (Ocgra_biblio.Table1.render ())
+
+(* ------------------------------------------------------------------ *)
+(* T1b: Table I, empirical companion                                   *)
+(* ------------------------------------------------------------------ *)
+
+let slow_mappers = [ "ilp-temporal"; "cp"; "sat"; "ilp-spatial" ]
+
+let t1b () =
+  section "Table I (empirical): one implemented representative per cell, common suite";
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  let cgra_spatial =
+    Ocgra_arch.Cgra.uniform ~topology:Ocgra_arch.Topology.Diagonal ~rows:4 ~cols:4 ()
+  in
+  let suite = Kernels.small_suite () in
+  let headers =
+    Array.of_list
+      (("mapper" :: "cell" :: List.map (fun (k : Kernels.t) -> k.name) suite) @ [ "time" ])
+  in
+  let rows =
+    List.filter_map
+      (fun (mapper : Ocgra_core.Mapper.t) ->
+        if quick && List.mem mapper.name slow_mappers then None
+        else begin
+          let t0 = Sys.time () in
+          let cells =
+            List.map
+              (fun (k : Kernels.t) ->
+                let p =
+                  if mapper.scope = Ocgra_core.Taxonomy.Spatial_mapping then
+                    Ocgra_core.Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra:cgra_spatial ()
+                  else Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:12 ()
+                in
+                let o = Ocgra_core.Mapper.run mapper ~seed:7 p in
+                match o.mapping with
+                | Some m ->
+                    Printf.sprintf "II=%d%s" m.Ocgra_core.Mapping.ii
+                      (if o.proven_optimal then "*" else "")
+                | None -> "-")
+              suite
+          in
+          let dt = Sys.time () -. t0 in
+          let scope_tag =
+            match mapper.scope with
+            | Ocgra_core.Taxonomy.Spatial_mapping -> "S"
+            | Ocgra_core.Taxonomy.Temporal_mapping -> "T"
+            | Ocgra_core.Taxonomy.Binding_only -> "B"
+            | Ocgra_core.Taxonomy.Scheduling_only -> "Sc"
+          in
+          let col =
+            Ocgra_core.Taxonomy.column_to_string
+              (Ocgra_core.Taxonomy.column_of_approach mapper.approach)
+          in
+          Some
+            (Array.of_list
+               ((mapper.name :: Printf.sprintf "%s/%s" scope_tag col :: cells)
+               @ [ Printf.sprintf "%.1fs" dt ]))
+        end)
+      Ocgra_mappers.Registry.all
+  in
+  Table.print ~headers rows;
+  print_endline "  *  = II proven optimal (success at the MII lower bound)";
+  print_endline "  S(patial) rows run at II=1 on a diagonal-topology array; '-' = mapping failed"
+
+(* ------------------------------------------------------------------ *)
+(* F1: architecture-class comparison                                   *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  section "Fig. 1 (reproduction): architecture classes on the same kernels";
+  let classes =
+    [
+      ("CPU-like (1 PE, temporal)", Ocgra_arch.Cgra.single_pe (), false);
+      ("CGRA 4x4 (temporal)", Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 (), false);
+      ( "FPGA-like 8x8 (spatial)",
+        Ocgra_arch.Cgra.uniform ~topology:Ocgra_arch.Topology.Diagonal ~rows:8 ~cols:8 (),
+        true );
+    ]
+  in
+  let suite = Kernels.full_suite () in
+  let iters = 16 in
+  let rows =
+    List.map
+      (fun (label, cgra, spatial) ->
+        let npe = Ocgra_arch.Cgra.pe_count cgra in
+        let mapped = ref 0 and cycles = ref 0 and energy = ref 0.0 in
+        List.iter
+          (fun (k : Kernels.t) ->
+            let p =
+              if spatial then Ocgra_core.Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra ()
+              else Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:40 ()
+            in
+            let rng = Ocgra_util.Rng.create 23 in
+            match Ocgra_mappers.Constructive.map ~restarts:12 p rng with
+            | Some m, _, _ ->
+                incr mapped;
+                let io = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
+                let result = Ocgra_sim.Machine.run p m io ~iters in
+                cycles := !cycles + result.Ocgra_sim.Machine.stats.cycles;
+                energy :=
+                  !energy
+                  +. Ocgra_sim.Energy.of_mapping_run k.dfg ~npe ~iters
+                       result.Ocgra_sim.Machine.stats
+            | None, _, _ -> ())
+          suite;
+        let flexibility = Printf.sprintf "%d/%d kernels" !mapped (List.length suite) in
+        let performance =
+          if !mapped = 0 then "-"
+          else
+            Printf.sprintf "%.3f iter/cycle"
+              (float_of_int (!mapped * iters) /. float_of_int !cycles)
+        in
+        let efficiency =
+          if !mapped = 0 then "-"
+          else Printf.sprintf "%.4f iter/energy" (float_of_int (!mapped * iters) /. !energy)
+        in
+        [| label; flexibility; performance; efficiency |])
+      classes
+  in
+  Table.print
+    ~headers:[| "architecture"; "flexibility"; "performance"; "energy efficiency" |]
+    rows;
+  print_endline
+    "  expected shape (Fig. 1): the CGRA sits between the sequential processor\n\
+    \  (maps everything, lowest throughput) and the spatial fabric (fast where it\n\
+    \  maps at all, maps the fewest kernels)"
+
+(* ------------------------------------------------------------------ *)
+(* F2: the CGRA anatomy and its configuration register                 *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () =
+  section "Fig. 2 (reproduction): a simple CGRA and one configuration register";
+  let cgra = Ocgra_arch.Cgra.adres_like ~rows:4 ~cols:4 () in
+  print_string (Ocgra_arch.Cgra.describe cgra);
+  let k = Kernels.dot_product () in
+  let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra () in
+  let rng = Ocgra_util.Rng.create 42 in
+  match Ocgra_mappers.Constructive.map p rng with
+  | Some m, _, _ ->
+      let build = Ocgra_core.Contexts.of_mapping p m in
+      print_string (Ocgra_core.Contexts.to_string p build);
+      let words = Ocgra_core.Contexts.encode build in
+      Printf.printf "context memory: %d contexts x %d PEs x 53-bit words; word[0][0] = 0x%Lx\n"
+        (Array.length words)
+        (Array.length words.(0))
+        words.(0).(0)
+  | None, _, _ -> print_endline "mapping failed"
+
+(* ------------------------------------------------------------------ *)
+(* F3: the compilation flow on the dot product                         *)
+(* ------------------------------------------------------------------ *)
+
+let f3 () =
+  section "Fig. 3 (reproduction): compilation flow, dot product";
+  let module P = Ocgra_dfg.Prog_ast in
+  let program =
+    [
+      P.Assign ("sum", P.Int 0);
+      P.For
+        ( "i",
+          P.Int 0,
+          P.Var "size",
+          [
+            P.Assign
+              ( "sum",
+                P.Bin
+                  ( Ocgra_dfg.Op.Add,
+                    P.Var "sum",
+                    P.Bin (Ocgra_dfg.Op.Mul, P.Read ("A", P.Var "i"), P.Read ("B", P.Var "i")) ) );
+          ] );
+      P.Emit ("sum", P.Var "sum");
+    ]
+  in
+  let cdfg = Ocgra_dfg.Prog.to_cdfg program in
+  print_string (Ocgra_dfg.Cdfg.to_string cdfg);
+  let kernel = Kernels.dot_product () in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  let p = Ocgra_core.Problem.temporal ~init:kernel.init ~dfg:kernel.dfg ~cgra () in
+  let rng = Ocgra_util.Rng.create 42 in
+  match Ocgra_mappers.Constructive.map p rng with
+  | Some m, _, _ ->
+      Printf.printf "\nmodulo schedule of the loop body (II = %d):\n" m.Ocgra_core.Mapping.ii;
+      print_string (Ocgra_core.Mapping.to_grid m kernel.dfg cgra)
+  | None, _, _ -> print_endline "mapping failed"
+
+(* ------------------------------------------------------------------ *)
+(* F4: the timeline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let f4 () =
+  section "Fig. 4 (reproduction): two decades of CGRA mapping";
+  print_string (Ocgra_biblio.Timeline.render ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ab_ii_vs_size () =
+  section "Ablation: achieved II vs array size (scalability, Section IV.B)";
+  let kernels = [ Kernels.fir4 (); Kernels.butterfly (); Kernels.sobel_row () ] in
+  let sizes = [ (2, 2); (3, 3); (4, 4); (5, 5); (6, 6) ] in
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        Array.of_list
+          (k.name
+          :: List.map
+               (fun (r, c) ->
+                 let cgra = Ocgra_arch.Cgra.uniform ~rows:r ~cols:c () in
+                 let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:24 () in
+                 let rng = Ocgra_util.Rng.create 3 in
+                 match Ocgra_mappers.Constructive.map ~restarts:12 p rng with
+                 | Some m, _, _ ->
+                     Printf.sprintf "II=%d (MII %d)" m.Ocgra_core.Mapping.ii
+                       (Ocgra_core.Mii.mii k.dfg cgra)
+                 | None, _, _ -> "-")
+               sizes))
+      kernels
+  in
+  let headers =
+    Array.of_list ("kernel" :: List.map (fun (r, c) -> Printf.sprintf "%dx%d" r c) sizes)
+  in
+  Table.print ~headers rows
+
+let ab_topology () =
+  section "Ablation: interconnect topology (routing pressure)";
+  let kernels = [ Kernels.fir4 (); Kernels.butterfly (); Kernels.absdiff () ] in
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        Array.of_list
+          (k.name
+          :: List.map
+               (fun topo ->
+                 let cgra = Ocgra_arch.Cgra.uniform ~topology:topo ~rows:4 ~cols:4 () in
+                 let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:16 () in
+                 let rng = Ocgra_util.Rng.create 3 in
+                 match Ocgra_mappers.Constructive.map ~restarts:10 p rng with
+                 | Some m, _, _ -> Printf.sprintf "II=%d" m.Ocgra_core.Mapping.ii
+                 | None, _, _ -> "-")
+               Ocgra_arch.Topology.all))
+      kernels
+  in
+  let headers =
+    Array.of_list ("kernel" :: List.map Ocgra_arch.Topology.to_string Ocgra_arch.Topology.all)
+  in
+  Table.print ~headers rows
+
+let ab_predication () =
+  section "Ablation: if-then-else mapping schemes (Section III.B.1)";
+  let module P = Ocgra_dfg.Prog_ast in
+  let ites =
+    [
+      ( "clip",
+        {
+          Ocgra_cf.Predication.cond = P.Bin (Ocgra_dfg.Op.Lt, P.Int 127, P.Var "x");
+          then_branch = [ ("y", P.Int 127) ];
+          else_branch =
+            [ ("y", P.Bin (Ocgra_dfg.Op.Add, P.Bin (Ocgra_dfg.Op.Mul, P.Var "x", P.Int 3), P.Int 1)) ];
+        } );
+      ( "abs-sign",
+        {
+          Ocgra_cf.Predication.cond = P.Bin (Ocgra_dfg.Op.Lt, P.Var "x", P.Int 0);
+          then_branch = [ ("y", P.Neg (P.Var "x")); ("s", P.Int (-1)) ];
+          else_branch = [ ("y", P.Var "x"); ("s", P.Int 1) ];
+        } );
+    ]
+  in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  List.iter
+    (fun (name, ite) ->
+      Printf.printf "\nkernel %s:\n" name;
+      let rows =
+        List.map
+          (fun (scheme, dfg, ops, depth) ->
+            let p = Ocgra_core.Problem.temporal ~dfg ~cgra () in
+            let rng = Ocgra_util.Rng.create 5 in
+            let mapped =
+              match Ocgra_mappers.Constructive.map p rng with
+              | Some m, _, _ -> Printf.sprintf "II=%d" m.Ocgra_core.Mapping.ii
+              | None, _, _ -> "-"
+            in
+            [|
+              Ocgra_cf.Predication.scheme_to_string scheme; string_of_int ops;
+              string_of_int depth; mapped;
+            |])
+          (Ocgra_cf.Predication.compare_schemes ite)
+      in
+      Table.print ~headers:[| "scheme"; "ops"; "critical path"; "mapped" |] rows)
+    ites
+
+let ab_banks () =
+  section "Ablation: memory banks vs stall cycles (Section III.C)";
+  let accesses =
+    [
+      (0, { Ocgra_mem.Bank.array_base = 0; stride = 1; offset = 0 });
+      (0, { Ocgra_mem.Bank.array_base = 64; stride = 1; offset = 0 });
+      (0, { Ocgra_mem.Bank.array_base = 0; stride = 1; offset = 1 });
+      (1, { Ocgra_mem.Bank.array_base = 128; stride = 1; offset = 0 });
+      (1, { Ocgra_mem.Bank.array_base = 64; stride = 2; offset = 0 });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (banks, conflicts) -> [| string_of_int banks; string_of_int conflicts |])
+      (Ocgra_mem.Bank.conflicts_by_banks ~bank_counts:[ 1; 2; 4; 8; 16 ] ~ii:2 ~iters:64 accesses)
+  in
+  Table.print ~headers:[| "banks"; "stall cycles / 64 iters" |] rows
+
+let ab_exact_scaling () =
+  section "Ablation: exact-method runtime vs kernel size (the compilation-time challenge)";
+  if quick then print_endline "(skipped in quick mode)"
+  else begin
+    let cgra = Ocgra_arch.Cgra.uniform ~rows:3 ~cols:3 () in
+    let sizes = [ 4; 6; 8; 10 ] in
+    let rng0 = Ocgra_util.Rng.create 99 in
+    let dfgs =
+      List.map
+        (fun n ->
+          let params =
+            { Ocgra_workloads.Random_dfg.default with nodes = n; layers = max 2 (n / 3) }
+          in
+          (n, fst (Ocgra_workloads.Random_dfg.generate ~params rng0)))
+        sizes
+    in
+    (* budgeted versions of the exact mappers: within the budget they
+       answer exactly; past it they give up, which is the honest shape
+       of the compilation-time story *)
+    let mappers =
+      [
+        ( "sat (40k conflicts/II)",
+          fun p rng ->
+            let m, _, _, _ = Ocgra_mappers.Sat_temporal.map ~max_conflicts:40_000 p rng in
+            m );
+        ( "cp (8k failures/II)",
+          fun p rng ->
+            let m, _, _ = Ocgra_mappers.Cp_temporal.map ~max_failures:8_000 ~routing_retries:3 p rng in
+            m );
+        ( "branch-and-bound",
+          fun p rng ->
+            let m, _, _ = Ocgra_mappers.Bb_temporal.map p rng in
+            m );
+        ( "modulo-greedy",
+          fun p rng ->
+            let m, _, _ = Ocgra_mappers.Constructive.map p rng in
+            m );
+      ]
+    in
+    let rows =
+      List.map
+        (fun (name, map) ->
+          Array.of_list
+            (name
+            :: List.map
+                 (fun (_, dfg) ->
+                   let p = Ocgra_core.Problem.temporal ~dfg ~cgra ~max_ii:8 () in
+                   let t0 = Sys.time () in
+                   let m = map p (Ocgra_util.Rng.create 3) in
+                   let dt = Sys.time () -. t0 in
+                   match m with
+                   | Some m -> Printf.sprintf "II=%d %.2fs" m.Ocgra_core.Mapping.ii dt
+                   | None -> Printf.sprintf "- %.2fs" dt)
+                 dfgs))
+        mappers
+    in
+    let headers =
+      Array.of_list ("mapper" :: List.map (fun (n, _) -> Printf.sprintf "%d nodes" n) dfgs)
+    in
+    Table.print ~headers rows;
+    print_endline "  expected shape: exact methods blow up with size; the heuristic stays flat"
+  end
+
+let ab_hwloop () =
+  section "Ablation: hardware loops vs host-managed control (Section III.B.2)";
+  let model = Ocgra_cf.Hw_loop.default_overhead in
+  let rows =
+    List.concat_map
+      (fun (ii, len) ->
+        List.map
+          (fun iters ->
+            let host = Ocgra_cf.Hw_loop.host_managed_cycles model ~schedule_length:len ~iters in
+            let hw = Ocgra_cf.Hw_loop.hw_loop_cycles model ~ii ~schedule_length:len ~iters in
+            [|
+              Printf.sprintf "II=%d len=%d" ii len;
+              string_of_int iters;
+              string_of_int host;
+              string_of_int hw;
+              Printf.sprintf "%.1fx" (float_of_int host /. float_of_int hw);
+            |])
+          [ 4; 16; 64; 256 ])
+      [ (1, 4); (2, 6); (4, 10) ]
+  in
+  Table.print ~headers:[| "kernel"; "iters"; "host-managed"; "hw loop"; "speedup" |] rows
+
+let ab_unroll () =
+  section "Ablation: loop unrolling for throughput (the Fig. 4 'loop unrolling' era)";
+  (* unrolling multiplies the work per initiation: effective throughput
+     is u / II, until resource pressure raises the II *)
+  let kernels = [ Kernels.dot_product (); Kernels.saxpy () ] in
+  let factors = [ 1; 2; 4 ] in
+  let rows =
+    List.map
+      (fun (k : Kernels.t) ->
+        Array.of_list
+          (k.name
+          :: List.map
+               (fun u ->
+                 let dfg = Ocgra_dfg.Transform.unroll k.dfg u in
+                 let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+                 let p = Ocgra_core.Problem.temporal ~dfg ~cgra ~max_ii:24 () in
+                 let rng = Ocgra_util.Rng.create 13 in
+                 match Ocgra_mappers.Constructive.map ~restarts:10 p rng with
+                 | Some m, _, _ ->
+                     Printf.sprintf "II=%d -> %.2f iters/cycle" m.Ocgra_core.Mapping.ii
+                       (float_of_int u /. float_of_int m.Ocgra_core.Mapping.ii)
+                 | None, _, _ -> "-")
+               factors))
+      kernels
+  in
+  let headers = Array.of_list ("kernel" :: List.map (fun u -> Printf.sprintf "unroll x%d" u) factors) in
+  Table.print ~headers rows
+
+let ab_nest () =
+  section "Ablation: affine nest transformation before pipelining ([45])";
+  let module Nest = Ocgra_cf.Nest in
+  let nests =
+    [
+      ( "stencil {(1,0),(0,1)} lat 2",
+        [ { Nest.d_outer = 1; d_inner = 0; latency = 2 }; { Nest.d_outer = 0; d_inner = 1; latency = 2 } ] );
+      ("anti-diagonal {(1,-1)} lat 3", [ { Nest.d_outer = 1; d_inner = -1; latency = 3 } ]);
+      ("inner recurrence {(0,2)} lat 4", [ { Nest.d_outer = 0; d_inner = 2; latency = 4 } ]);
+      ( "coupled {(0,1),(1,-2)} lat 2",
+        [ { Nest.d_outer = 0; d_inner = 1; latency = 2 }; { Nest.d_outer = 1; d_inner = -2; latency = 2 } ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, deps) ->
+        let identity =
+          if Nest.legal Nest.Identity deps then string_of_int (Nest.inner_rec_mii Nest.Identity deps)
+          else "illegal"
+        in
+        match Nest.best deps with
+        | Some (mii, t) ->
+            [| name; identity; Nest.transform_to_string t; string_of_int mii |]
+        | None -> [| name; identity; "-"; "-" |])
+      nests
+  in
+  Table.print
+    ~headers:[| "nest dependences"; "inner RecMII (identity)"; "best transform"; "inner RecMII (best)" |]
+    rows
+
+let ab_regalloc () =
+  section "Ablation: rotating vs unified register file need ([29] vs [25])";
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 ~rf_size:8 () in
+  let rows =
+    List.filter_map
+      (fun (k : Kernels.t) ->
+        let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:16 () in
+        let rng = Ocgra_util.Rng.create 7 in
+        match Ocgra_mappers.Constructive.map p rng with
+        | Some m, _, _ ->
+            let s = Ocgra_mem.Regalloc.summarize m ~npe:16 in
+            Some
+              [|
+                k.name;
+                string_of_int m.Ocgra_core.Mapping.ii;
+                string_of_int s.total_holds;
+                string_of_int s.max_rotating;
+                string_of_int s.max_unified;
+              |]
+        | None, _, _ -> None)
+      (Kernels.full_suite ())
+  in
+  Table.print
+    ~headers:
+      [| "kernel"; "II"; "values in RFs"; "rotating regs (max/PE)"; "unified regs (max/PE)" |]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* bechamel: one Test.make per artifact generator                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  section "bechamel micro-benchmarks (one test per artifact generator)";
+  let open Bechamel in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  let kernel = Kernels.dot_product () in
+  let map_once () =
+    let p = Ocgra_core.Problem.temporal ~init:kernel.init ~dfg:kernel.dfg ~cgra () in
+    let rng = Ocgra_util.Rng.create 42 in
+    ignore (Ocgra_mappers.Constructive.map p rng)
+  in
+  let sim_once =
+    let p = Ocgra_core.Problem.temporal ~init:kernel.init ~dfg:kernel.dfg ~cgra () in
+    let rng = Ocgra_util.Rng.create 42 in
+    match Ocgra_mappers.Constructive.map p rng with
+    | Some m, _, _ ->
+        fun () ->
+          let io = Ocgra_sim.Machine.io_of_streams ~memory:kernel.memory (kernel.inputs 8) in
+          ignore (Ocgra_sim.Machine.run p m io ~iters:8)
+    | None, _, _ -> fun () -> ()
+  in
+  let tests =
+    [
+      Test.make ~name:"table1-bibliographic"
+        (Staged.stage (fun () -> ignore (Ocgra_biblio.Table1.render ())));
+      Test.make ~name:"fig4-timeline"
+        (Staged.stage (fun () -> ignore (Ocgra_biblio.Timeline.render ())));
+      Test.make ~name:"table1-empirical-cell(map dot-product)" (Staged.stage map_once);
+      Test.make ~name:"fig1-point(simulate 8 iters)" (Staged.stage sim_once);
+      Test.make ~name:"fig2-contexts"
+        (Staged.stage (fun () ->
+             let p = Ocgra_core.Problem.temporal ~init:kernel.init ~dfg:kernel.dfg ~cgra () in
+             let rng = Ocgra_util.Rng.create 42 in
+             match Ocgra_mappers.Constructive.map p rng with
+             | Some m, _, _ -> ignore (Ocgra_core.Contexts.of_mapping p m)
+             | None, _, _ -> ()));
+      Test.make ~name:"fig3-frontend"
+        (Staged.stage (fun () ->
+             let module P = Ocgra_dfg.Prog_ast in
+             ignore
+               (Ocgra_dfg.Prog.to_cdfg
+                  [
+                    P.For
+                      ( "i",
+                        P.Int 0,
+                        P.Int 8,
+                        [ P.Assign ("s", P.Bin (Ocgra_dfg.Op.Add, P.Var "s", P.Var "i")) ] );
+                  ])));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~quota:(Time.second 0.25) ~kde:None ())
+          Toolkit.Instance.[ monotonic_clock ]
+          test
+      in
+      let stats =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-44s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
+        stats)
+    tests
+
+let () =
+  t1a ();
+  f4 ();
+  f2 ();
+  f3 ();
+  ab_hwloop ();
+  ab_banks ();
+  ab_predication ();
+  ab_nest ();
+  ab_unroll ();
+  ab_regalloc ();
+  ab_topology ();
+  ab_ii_vs_size ();
+  f1 ();
+  t1b ();
+  ab_exact_scaling ();
+  bechamel_suite ();
+  print_endline "\nAll artifacts regenerated."

@@ -1,0 +1,126 @@
+(* ocgra — command-line front door to the framework.
+
+     ocgra list                         kernels and mappers
+     ocgra arch --rows 4 --cols 4       describe an array
+     ocgra map -k fir4 -m modulo-greedy describe a mapping
+     ocgra sim -k fir4 -m sat           map, simulate, verify
+     ocgra table1                       the survey's Table I (corpus)
+     ocgra timeline                     the survey's Fig. 4            *)
+
+open Cmdliner
+
+let mk_cgra rows cols topology hetero =
+  let topology = Ocgra_arch.Topology.of_string topology in
+  if hetero then Ocgra_arch.Cgra.adres_like ~topology ~rows ~cols ()
+  else Ocgra_arch.Cgra.uniform ~topology ~rows ~cols ()
+
+let rows_t = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Array rows.")
+let cols_t = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Array columns.")
+
+let topo_t =
+  Arg.(value & opt string "mesh" & info [ "topology" ] ~doc:"mesh|torus|diagonal|one-hop|full.")
+
+let hetero_t =
+  Arg.(value & flag & info [ "hetero" ] ~doc:"ADRES-like heterogeneous array.")
+
+let kernel_t =
+  Arg.(value & opt string "dot-product" & info [ "k"; "kernel" ] ~doc:"Kernel name.")
+
+let mapper_t =
+  Arg.(value & opt string "modulo-greedy" & info [ "m"; "mapper" ] ~doc:"Mapper name.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let spatial_t = Arg.(value & flag & info [ "spatial" ] ~doc:"Spatial (II=1) problem.")
+
+let list_cmd =
+  let run () =
+    print_endline "kernels:";
+    List.iter
+      (fun (k : Ocgra_workloads.Kernels.t) -> Printf.printf "  %-14s %s\n" k.name k.description)
+      (Ocgra_workloads.Kernels.all ());
+    print_endline "\nmappers (scope / technique):";
+    List.iter
+      (fun (m : Ocgra_core.Mapper.t) ->
+        Printf.printf "  %-18s %-18s %-24s %s\n" m.name
+          (Ocgra_core.Taxonomy.scope_to_string m.scope)
+          (Ocgra_core.Taxonomy.approach_to_string m.approach)
+          m.citation)
+      Ocgra_mappers.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List kernels and mappers") Term.(const run $ const ())
+
+let arch_cmd =
+  let run rows cols topo hetero =
+    print_string (Ocgra_arch.Cgra.describe (mk_cgra rows cols topo hetero))
+  in
+  Cmd.v (Cmd.info "arch" ~doc:"Describe a CGRA instance")
+    Term.(const run $ rows_t $ cols_t $ topo_t $ hetero_t)
+
+let problem_of kernel spatial cgra =
+  let k = Ocgra_workloads.Kernels.find kernel in
+  let p =
+    if spatial then Ocgra_core.Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra ()
+    else Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ()
+  in
+  (k, p)
+
+let map_cmd =
+  let run kernel mapper rows cols topo hetero seed spatial =
+    let cgra = mk_cgra rows cols topo hetero in
+    let k, p = problem_of kernel spatial cgra in
+    let m = Ocgra_mappers.Registry.find mapper in
+    Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
+    let o = Ocgra_core.Mapper.run m ~seed p in
+    match o.mapping with
+    | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
+    | Some mapping ->
+        let cost = Ocgra_core.Cost.of_mapping p mapping in
+        Printf.printf "mapped: %s%s in %.2fs (%d attempts)\n"
+          (Ocgra_core.Cost.to_string cost)
+          (if o.proven_optimal then ", II optimal" else "")
+          o.elapsed_s o.attempts;
+        print_string (Ocgra_core.Mapping.to_grid mapping k.dfg cgra)
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
+    Term.(const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t)
+
+let sim_cmd =
+  let run kernel mapper rows cols topo hetero seed iters =
+    let cgra = mk_cgra rows cols topo hetero in
+    let k, p = problem_of kernel false cgra in
+    let m = Ocgra_mappers.Registry.find mapper in
+    let o = Ocgra_core.Mapper.run m ~seed p in
+    match o.mapping with
+    | None -> Printf.printf "mapping failed (%s)\n" o.note
+    | Some mapping ->
+        let io = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
+        let result = Ocgra_sim.Machine.run p mapping io ~iters in
+        let reference = Ocgra_workloads.Kernels.eval_reference k ~iters in
+        Printf.printf "II=%d; %d iterations in %d cycles; %d op instances, %d route instances\n"
+          mapping.Ocgra_core.Mapping.ii iters result.Ocgra_sim.Machine.stats.cycles
+          result.Ocgra_sim.Machine.stats.op_instances
+          result.Ocgra_sim.Machine.stats.route_instances;
+        List.iter
+          (fun name ->
+            let got = Ocgra_sim.Machine.output_stream result name in
+            let want = Ocgra_dfg.Eval.output_stream reference name in
+            Printf.printf "output %-8s %s\n" name
+              (if got = want then "matches the reference interpreter" else "MISMATCH"))
+          k.outputs
+  in
+  let iters_t = Arg.(value & opt int 12 & info [ "iters" ] ~doc:"Loop iterations.") in
+  Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
+    Term.(const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t)
+
+let table1_cmd =
+  let run () = print_string (Ocgra_biblio.Table1.render ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the survey's Table I") Term.(const run $ const ())
+
+let timeline_cmd =
+  let run () = print_string (Ocgra_biblio.Timeline.render ()) in
+  Cmd.v (Cmd.info "timeline" ~doc:"Regenerate the survey's Fig. 4") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "ocgra" ~doc:"Twenty years of CGRA mapping, as one toolkit" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; arch_cmd; map_cmd; sim_cmd; table1_cmd; timeline_cmd ]))

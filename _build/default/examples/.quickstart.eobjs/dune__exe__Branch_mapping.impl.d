@@ -1,0 +1,1 @@
+examples/branch_mapping.ml: Array Cdfg List Ocgra_arch Ocgra_cf Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_util Op Printf Prog Prog_ast

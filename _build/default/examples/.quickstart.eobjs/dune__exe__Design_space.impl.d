@@ -1,0 +1,1 @@
+examples/design_space.ml: List Ocgra_arch Ocgra_core Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads Printf

@@ -1,0 +1,1 @@
+examples/loop_pipelining.ml: List Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads Printf

@@ -1,0 +1,1 @@
+examples/memory_banking.ml: List Ocgra_mem Ocgra_util Printf String

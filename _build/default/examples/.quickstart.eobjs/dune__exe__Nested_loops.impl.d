@@ -1,0 +1,1 @@
+examples/nested_loops.ml: List Ocgra_arch Ocgra_cf Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_util Printf

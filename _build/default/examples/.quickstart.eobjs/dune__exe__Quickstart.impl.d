@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cdfg Dfg Eval List Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Op Printf Prog Prog_ast String

@@ -1,0 +1,72 @@
+(* Control-flow mapping: the four if-then-else schemes of Section
+   III.B.1 compared on a clipping kernel, plus the host-managed CDFG
+   alternative.
+
+     dune exec examples/branch_mapping.exe                             *)
+
+open Ocgra_dfg
+module P = Prog_ast
+
+let () =
+  (* kernel with overlapping branches: both sides need 3x, so the
+     schemes differentiate (partial predication shares it, full cannot) *)
+  let shared = P.Bin (Op.Mul, P.Var "x", P.Int 3) in
+  let ite =
+    {
+      Ocgra_cf.Predication.cond = P.Bin (Op.Lt, P.Var "x", P.Var "t");
+      then_branch = [ ("y", P.Bin (Op.Add, shared, P.Int 9)) ];
+      else_branch = [ ("y", P.Bin (Op.Sub, shared, P.Int 7)) ];
+    }
+  in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  print_endline "branch kernel: y = x < t ? 3x + 9 : 3x - 7\n";
+  let rows =
+    List.map
+      (fun (scheme, dfg, ops, depth) ->
+        let p = Ocgra_core.Problem.temporal ~dfg ~cgra () in
+        let rng = Ocgra_util.Rng.create 5 in
+        let result =
+          match Ocgra_mappers.Constructive.map p rng with
+          | Some m, _, _ -> Printf.sprintf "II=%d" m.Ocgra_core.Mapping.ii
+          | None, _, _ -> "fail"
+        in
+        [|
+          Ocgra_cf.Predication.scheme_to_string scheme;
+          string_of_int ops;
+          string_of_int depth;
+          result;
+        |])
+      (Ocgra_cf.Predication.compare_schemes ite)
+  in
+  Ocgra_util.Table.print
+    ~headers:[| "ITE scheme"; "ops"; "critical path"; "mapped" |]
+    rows;
+
+  (* the host-managed alternative: map each basic block separately *)
+  print_endline "\nHost-managed CDFG execution (control on the host processor):";
+  let program =
+    [
+      P.For
+        ( "i",
+          P.Int 0,
+          P.Int 16,
+          [
+            P.Assign ("x", P.Read ("src", P.Var "i"));
+            P.If
+              ( P.Bin (Op.Lt, P.Int 127, P.Var "x"),
+                [ P.Assign ("y", P.Int 127) ],
+                [ P.Assign ("y", P.Bin (Op.Add, P.Bin (Op.Mul, P.Var "x", P.Int 3), P.Int 1)) ] );
+            P.Write ("dst", P.Var "i", P.Var "y");
+          ] );
+    ]
+  in
+  let cdfg = Prog.to_cdfg program in
+  print_string (Cdfg.to_string cdfg);
+  let memory = [ ("src", Array.init 16 (fun i -> i * 20)); ("dst", Array.make 16 0) ] in
+  let trace, _outputs, _vars = Ocgra_cf.Host_exec.interpret cdfg ~memory in
+  let plan = Ocgra_cf.Host_exec.make_plan cdfg in
+  Printf.printf
+    "dynamic trace: %d block launches; host-managed overhead = %d cycles\n\
+     (predicated versions pay none of this: the branch runs inside the array)\n"
+    (List.length trace)
+    (Ocgra_cf.Host_exec.trace_cost plan trace)

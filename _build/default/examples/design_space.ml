@@ -1,0 +1,51 @@
+(* Design-space walk: achieved II, utilization and energy proxy of one
+   kernel across array sizes and interconnect topologies — the
+   architecture-side levers the survey's Section I/IV discuss.
+
+     dune exec examples/design_space.exe                               *)
+
+let () =
+  let k = Ocgra_workloads.Kernels.fir4 () in
+  Printf.printf "kernel: %s (%s)\n\n" k.name k.description;
+  let sizes = [ (2, 2); (3, 3); (4, 4); (6, 6) ] in
+  let topologies =
+    [ Ocgra_arch.Topology.Mesh; Ocgra_arch.Topology.Torus; Ocgra_arch.Topology.Diagonal;
+      Ocgra_arch.Topology.One_hop ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (r, c) ->
+      List.iter
+        (fun topo ->
+          let cgra = Ocgra_arch.Cgra.uniform ~topology:topo ~rows:r ~cols:c () in
+          let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:20 () in
+          let rng = Ocgra_util.Rng.create 17 in
+          match Ocgra_mappers.Constructive.map ~restarts:12 p rng with
+          | Some m, _, _ ->
+              let iters = 16 in
+              let io = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
+              let result = Ocgra_sim.Machine.run p m io ~iters in
+              let npe = r * c in
+              let energy =
+                Ocgra_sim.Energy.of_mapping_run k.dfg ~npe ~iters result.Ocgra_sim.Machine.stats
+              in
+              let cost = Ocgra_core.Cost.of_mapping p m in
+              rows :=
+                [|
+                  Printf.sprintf "%dx%d" r c;
+                  Ocgra_arch.Topology.to_string topo;
+                  string_of_int m.Ocgra_core.Mapping.ii;
+                  Printf.sprintf "%.0f%%" (100.0 *. cost.fu_utilization);
+                  Printf.sprintf "%.1f" energy;
+                  Printf.sprintf "%.3f" (Ocgra_sim.Energy.efficiency ~energy ~iters);
+                |]
+                :: !rows
+          | None, _, _ ->
+              rows :=
+                [| Printf.sprintf "%dx%d" r c; Ocgra_arch.Topology.to_string topo; "-"; "-"; "-"; "-" |]
+                :: !rows)
+        topologies)
+    sizes;
+  Ocgra_util.Table.print
+    ~headers:[| "array"; "topology"; "II"; "FU util"; "energy/16 iters"; "iters/energy" |]
+    (List.rev !rows)

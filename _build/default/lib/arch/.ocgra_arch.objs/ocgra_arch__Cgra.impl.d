@@ -1,0 +1,1 @@
+lib/arch/cgra.ml: Array Buffer Fun List Ocgra_dfg Ocgra_graph Op Pe Printf Topology

@@ -1,0 +1,1 @@
+lib/arch/cgra.mli: Ocgra_dfg Ocgra_graph Pe Topology

@@ -1,0 +1,1 @@
+lib/arch/context.ml: Array Buffer Cgra Int64 Ocgra_dfg Op Printf

@@ -1,0 +1,1 @@
+lib/arch/context.mli: Cgra Ocgra_dfg

@@ -1,0 +1,1 @@
+lib/arch/pe.ml: List Ocgra_dfg Op Printf String

@@ -1,0 +1,1 @@
+lib/arch/pe.mli: Ocgra_dfg

@@ -1,0 +1,1 @@
+lib/arch/topology.ml: Fun List

@@ -1,0 +1,91 @@
+(* The CGRA instance: a rows x cols array of PEs joined by a topology.
+
+   This is the "CGRA model" every mapper takes as input (Section II.B
+   of the paper): capability queries, neighbour sets and hop-distance
+   tables are the only interface the mapping algorithms use, so any
+   array describable here is mappable by all of them. *)
+
+open Ocgra_dfg
+
+type t = {
+  rows : int;
+  cols : int;
+  topology : Topology.t;
+  pes : Pe.t array; (* length rows * cols, row-major *)
+  name : string;
+}
+
+let make ?(name = "cgra") ~rows ~cols ~topology pes =
+  if Array.length pes <> rows * cols then invalid_arg "Cgra.make: wrong PE count";
+  { rows; cols; topology; pes; name }
+
+let pe_count t = t.rows * t.cols
+let pe t i = t.pes.(i)
+let coords t i = (i / t.cols, i mod t.cols)
+let index t ~row ~col = (row * t.cols) + col
+
+let neighbours t i = Topology.neighbours t.topology ~rows:t.rows ~cols:t.cols i
+
+(* PEs a value on [i] can reach in one cycle, including staying put. *)
+let reachable_in_one t i = i :: neighbours t i
+
+let supports t i op = Pe.supports t.pes.(i) op
+
+let capable_pes t op =
+  List.filter (fun i -> supports t i op) (List.init (pe_count t) Fun.id)
+
+let connectivity_graph t =
+  let g = Ocgra_graph.Digraph.create ~capacity:(pe_count t) () in
+  ignore (Ocgra_graph.Digraph.add_nodes g (pe_count t));
+  for i = 0 to pe_count t - 1 do
+    List.iter (fun j -> Ocgra_graph.Digraph.add_edge g i j) (neighbours t i)
+  done;
+  g
+
+(* hops.(i).(j) = minimum number of cycles to move a value from PE i to
+   PE j (0 on the diagonal). *)
+let hop_table t = Ocgra_graph.Paths.all_pairs_hops (connectivity_graph t)
+
+(* ---------- Standard instances ---------- *)
+
+(* Homogeneous mesh where every cell does everything: the "simple CGRA"
+   of Fig. 2. *)
+let uniform ?(topology = Topology.Mesh) ?(rf_size = 4) ~rows ~cols () =
+  let pe = Pe.make ~rf_size [ Op.F_alu; Op.F_mul; Op.F_mem; Op.F_io ] in
+  make
+    ~name:(Printf.sprintf "uniform-%dx%d-%s" rows cols (Topology.to_string topology))
+    ~rows ~cols ~topology
+    (Array.make (rows * cols) pe)
+
+(* ADRES-flavoured heterogeneous array: memory and I/O restricted to the
+   first column, multipliers on even cells only. *)
+let adres_like ?(topology = Topology.Mesh) ?(rf_size = 8) ~rows ~cols () =
+  let pes =
+    Array.init (rows * cols) (fun i ->
+        let col = i mod cols in
+        let base = [ Op.F_alu ] in
+        let base = if i mod 2 = 0 then Op.F_mul :: base else base in
+        let base = if col = 0 then Op.F_mem :: Op.F_io :: base else base in
+        Pe.make ~rf_size base)
+  in
+  make
+    ~name:(Printf.sprintf "adres-%dx%d-%s" rows cols (Topology.to_string topology))
+    ~rows ~cols ~topology pes
+
+(* Single full-featured PE: the "CPU-like" end of the Fig. 1 spectrum
+   (pure temporal computation). *)
+let single_pe ?(rf_size = 16) () =
+  make ~name:"single-pe" ~rows:1 ~cols:1 ~topology:Topology.Mesh
+    (Array.make 1 (Pe.make ~rf_size [ Op.F_alu; Op.F_mul; Op.F_mem; Op.F_io ]))
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %dx%d %s\n" t.name t.rows t.cols (Topology.to_string t.topology));
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      let i = index t ~row:r ~col:c in
+      Buffer.add_string buf (Printf.sprintf "  PE(%d,%d) %s\n" r c (Pe.to_string t.pes.(i)))
+    done
+  done;
+  Buffer.contents buf

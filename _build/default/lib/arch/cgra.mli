@@ -1,0 +1,43 @@
+(** A CGRA instance: a rows x cols array of PEs joined by a topology.
+    Capability queries, neighbour sets and hop tables are the whole
+    interface the mappers use, so any array describable here is
+    mappable by all of them. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  topology : Topology.t;
+  pes : Pe.t array;  (** row-major, length rows * cols *)
+  name : string;
+}
+
+(** Raises [Invalid_argument] when the PE array has the wrong length. *)
+val make : ?name:string -> rows:int -> cols:int -> topology:Topology.t -> Pe.t array -> t
+
+val pe_count : t -> int
+val pe : t -> int -> Pe.t
+val coords : t -> int -> int * int
+val index : t -> row:int -> col:int -> int
+val neighbours : t -> int -> int list
+
+(** Including staying put. *)
+val reachable_in_one : t -> int -> int list
+
+val supports : t -> int -> Ocgra_dfg.Op.t -> bool
+val capable_pes : t -> Ocgra_dfg.Op.t -> int list
+val connectivity_graph : t -> Ocgra_graph.Digraph.t
+
+(** [.(i).(j)] = minimum cycles to move a value from PE i to PE j. *)
+val hop_table : t -> int array array
+
+(** Homogeneous full-featured mesh: the "simple CGRA" of Fig. 2. *)
+val uniform : ?topology:Topology.t -> ?rf_size:int -> rows:int -> cols:int -> unit -> t
+
+(** ADRES-flavoured heterogeneity: memory and I/O in column 0,
+    multipliers on even cells. *)
+val adres_like : ?topology:Topology.t -> ?rf_size:int -> rows:int -> cols:int -> unit -> t
+
+(** The CPU-like end of the Fig. 1 spectrum: one full PE. *)
+val single_pe : ?rf_size:int -> unit -> t
+
+val describe : t -> string

@@ -1,0 +1,54 @@
+(** Configuration word model (Fig. 2c): the raw mux-select values that
+    define the hardware/software contract. *)
+
+(** Operand source selector: the PE's input mux. *)
+type source =
+  | Src_none
+  | Src_dir of int  (** index into the PE's neighbour list *)
+  | Src_self  (** own output register *)
+  | Src_rf of int  (** register-file entry (rotating, logical index) *)
+  | Src_const  (** immediate field *)
+
+type slot = {
+  opcode : int;
+  srcs : source array;  (** length 3: operand ports *)
+  const : int;  (** immediate / stream id / array id *)
+  rf_we : bool;
+  rf_waddr : int;
+}
+
+val nop_slot : slot
+
+(** One configuration of the whole array (one slot per PE). *)
+type t = slot array
+
+val opcode_of_op : Ocgra_dfg.Op.t -> int
+val opcode_name : int -> string
+
+(** String interning for stream and array names carried in the const
+    field. *)
+module Dict : sig
+  type t
+
+  val create : unit -> t
+  val intern : t -> string -> int
+  val name : t -> int -> string
+end
+
+(** Build the slot for an operation, putting its payload (immediate,
+    stream id, array id) into the const field. *)
+val slot_of_op : Dict.t -> Ocgra_dfg.Op.t -> source array -> slot
+
+(** 53-bit word layout: opcode:6 | src0:6 | src1:6 | src2:6 | rf_we:1 |
+    rf_waddr:4 | const:24 (two's complement). [decode_slot] inverts
+    [encode_slot] exactly (property-tested). *)
+val encode_source : source -> int
+
+val decode_source : int -> source
+val encode_slot : slot -> int64
+val decode_slot : int64 -> slot
+val source_to_string : source -> string
+val pp_slot : slot -> string
+
+(** Pretty-print a context memory (skipping NOP slots). *)
+val pp_contexts : t array -> Cgra.t -> string

@@ -1,0 +1,63 @@
+(* Interconnect topologies between cells of the array.
+
+   The classic design points of the surveyed architectures: 4-neighbour
+   mesh (MorphoSys, ADRES default), torus (wrap-around), mesh-plus with
+   diagonals, one-hop mesh (links skipping one cell), and a fully
+   connected crossbar as the VLIW-like upper bound. *)
+
+type t = Mesh | Torus | Diagonal | One_hop | Full
+
+let to_string = function
+  | Mesh -> "mesh"
+  | Torus -> "torus"
+  | Diagonal -> "diagonal"
+  | One_hop -> "one-hop"
+  | Full -> "full"
+
+let of_string = function
+  | "mesh" -> Mesh
+  | "torus" -> Torus
+  | "diagonal" -> Diagonal
+  | "one-hop" | "one_hop" -> One_hop
+  | "full" -> Full
+  | s -> invalid_arg ("Topology.of_string: " ^ s)
+
+(* Neighbours a value can be sent to in one cycle (excluding staying on
+   the same PE, which is always possible).  Indices are r * cols + c. *)
+let neighbours t ~rows ~cols pe =
+  let r = pe / cols and c = pe mod cols in
+  let inside (r, c) = r >= 0 && r < rows && c >= 0 && c < cols in
+  let at (r, c) = (r * cols) + c in
+  match t with
+  | Mesh ->
+      List.filter inside [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ] |> List.map at
+  | Torus ->
+      if rows = 1 && cols = 1 then []
+      else
+        List.sort_uniq compare
+          (List.map at
+             (List.filter
+                (fun rc -> rc <> (r, c))
+                [
+                  (((r - 1) + rows) mod rows, c);
+                  ((r + 1) mod rows, c);
+                  (r, ((c - 1) + cols) mod cols);
+                  (r, (c + 1) mod cols);
+                ]))
+  | Diagonal ->
+      List.filter inside
+        [
+          (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1);
+          (r - 1, c - 1); (r - 1, c + 1); (r + 1, c - 1); (r + 1, c + 1);
+        ]
+      |> List.map at
+  | One_hop ->
+      List.filter inside
+        [
+          (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1);
+          (r - 2, c); (r + 2, c); (r, c - 2); (r, c + 2);
+        ]
+      |> List.map at
+  | Full -> List.init (rows * cols) Fun.id |> List.filter (fun q -> q <> pe)
+
+let all = [ Mesh; Torus; Diagonal; One_hop; Full ]

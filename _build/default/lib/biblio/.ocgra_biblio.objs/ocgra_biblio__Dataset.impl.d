@@ -1,0 +1,1 @@
+lib/biblio/dataset.ml: List Printf

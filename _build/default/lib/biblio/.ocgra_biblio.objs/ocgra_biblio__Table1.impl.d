@@ -1,0 +1,1 @@
+lib/biblio/table1.ml: Array Dataset List Ocgra_util Printf String

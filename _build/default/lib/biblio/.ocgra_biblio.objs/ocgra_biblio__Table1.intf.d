@@ -1,0 +1,1 @@
+lib/biblio/table1.mli: Dataset

@@ -1,0 +1,1 @@
+lib/biblio/timeline.ml: Buffer Dataset List Ocgra_util Printf

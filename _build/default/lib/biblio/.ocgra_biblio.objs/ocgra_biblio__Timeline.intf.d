@@ -1,0 +1,1 @@
+lib/biblio/timeline.mli: Dataset

@@ -1,0 +1,49 @@
+(* Regenerate Fig. 4: publications per year over two decades, with the
+   technique-era annotations the figure overlays (modulo scheduling
+   from the start, predication styles through the 2000s-2010s,
+   memory-aware methods around 2010, hardware loops late 2010s).
+
+   As the paper itself notes, the count "considers the papers focusing
+   on CGRA mapping only, and a subset of selected papers": this corpus
+   is that subset. *)
+
+open Dataset
+
+let year_range = (1998, 2021)
+
+let counts () =
+  let lo, hi = year_range in
+  List.init (hi - lo + 1) (fun i ->
+      let year = lo + i in
+      (year, List.length (List.filter (fun entry -> entry.year = year) entries)))
+
+(* First appearance of each annotated technique. *)
+let technique_first_years () =
+  let interesting =
+    [
+      Modulo_scheduling; Loop_unrolling; Full_predication; Partial_predication; Dual_issue;
+      Direct_mapping; Memory_aware; Hardware_loops; Polyhedral; Ai_based;
+    ]
+  in
+  List.filter_map
+    (fun topic ->
+      match with_topic topic with
+      | [] -> None
+      | entries ->
+          let first = List.fold_left (fun acc entry -> min acc entry.year) max_int entries in
+          Some (topic, first))
+    interesting
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Publications per year (CGRA mapping corpus of the survey):\n";
+  let series =
+    List.map (fun (year, n) -> (string_of_int year, float_of_int n)) (counts ())
+  in
+  Buffer.add_string buf (Ocgra_util.Stats.hbar_chart ~width:40 series);
+  Buffer.add_string buf "\nTechnique first appearances (the Fig. 4 era annotations):\n";
+  List.iter
+    (fun (topic, year) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s from %d\n" (topic_to_string topic) year))
+    (List.sort (fun (_, a) (_, b) -> compare a b) (technique_first_years ()));
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/cf/host_exec.ml: Array Cdfg Dfg Hashtbl List Ocgra_dfg Op Option Prog Prog_ast

@@ -1,0 +1,1 @@
+lib/cf/host_exec.mli: Hashtbl Ocgra_dfg

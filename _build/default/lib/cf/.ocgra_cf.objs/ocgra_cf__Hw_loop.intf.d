@@ -1,0 +1,1 @@
+lib/cf/hw_loop.mli:

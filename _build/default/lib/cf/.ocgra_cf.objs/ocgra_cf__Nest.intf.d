@@ -1,0 +1,1 @@
+lib/cf/nest.mli:

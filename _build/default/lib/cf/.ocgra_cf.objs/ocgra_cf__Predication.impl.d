@@ -1,0 +1,1 @@
+lib/cf/predication.ml: Dfg List Ocgra_dfg Op Prog_ast

@@ -1,0 +1,1 @@
+lib/cf/predication.mli: Ocgra_dfg

@@ -1,0 +1,32 @@
+(** Host-managed control flow over a CDFG: each basic block is one
+    CGRA configuration; the host walks the control-flow graph carrying
+    the live variables.  This quantifies the launch/transfer traffic
+    that predication avoids. *)
+
+type block_plan = {
+  block : int;
+  dfg : Ocgra_dfg.Dfg.t;
+  live_in : string list;
+  live_out : string list;
+  ops : int;
+}
+
+type plan = {
+  blocks : block_plan list;
+  transfer_cost_per_var : int;
+  launch_cost : int;
+}
+
+val make_plan : ?transfer_cost_per_var:int -> ?launch_cost:int -> Ocgra_dfg.Cdfg.t -> plan
+
+(** Execute the CDFG with interpreter semantics from block 0;
+    returns (dynamic block trace, output streams (newest first),
+    final variable environment). *)
+val interpret :
+  ?max_steps:int ->
+  Ocgra_dfg.Cdfg.t ->
+  memory:(string * int array) list ->
+  int list * (string, int list) Hashtbl.t * (string, int) Hashtbl.t
+
+(** Launches + live-variable transfers of one dynamic trace. *)
+val trace_cost : plan -> int list -> int

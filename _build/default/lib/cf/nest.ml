@@ -1,0 +1,85 @@
+(* Affine loop-nest transformation for pipelining ([45] Yin et al.,
+   "joint affine transformation and loop pipelining": pick a unimodular
+   transformation of a 2-deep nest so the *innermost* loop carries as
+   little recurrence as possible before modulo scheduling it).
+
+   A dependence of the nest is a distance vector (d_outer, d_inner)
+   with the latency of its producing chain.  A transformation is legal
+   when every transformed vector stays lexicographically non-negative
+   (with (0,0) meaning an intra-iteration dependence, always fine).
+   After transformation, only dependences carried by the innermost loop
+   (d_outer = 0, d_inner > 0) bound the inner II:
+   RecMII >= ceil(latency / d_inner); dependences carried by the outer
+   loop impose nothing on the pipeline. *)
+
+type dep = { d_outer : int; d_inner : int; latency : int }
+
+type transform =
+  | Identity
+  | Interchange
+  | Skew of int (* (i, j) -> (i, j + f*i) *)
+  | Interchange_skew of int (* interchange then skew *)
+
+let transform_to_string = function
+  | Identity -> "identity"
+  | Interchange -> "interchange"
+  | Skew f -> Printf.sprintf "skew f=%d" f
+  | Interchange_skew f -> Printf.sprintf "interchange+skew f=%d" f
+
+let apply t (d : dep) =
+  match t with
+  | Identity -> d
+  | Interchange -> { d with d_outer = d.d_inner; d_inner = d.d_outer }
+  | Skew f -> { d with d_inner = d.d_inner + (f * d.d_outer) }
+  | Interchange_skew f ->
+      let d' = { d with d_outer = d.d_inner; d_inner = d.d_outer } in
+      { d' with d_inner = d'.d_inner + (f * d'.d_outer) }
+
+(* Lexicographic non-negativity of every transformed dependence. *)
+let legal t deps =
+  List.for_all
+    (fun d ->
+      let d' = apply t d in
+      d'.d_outer > 0 || (d'.d_outer = 0 && d'.d_inner >= 0))
+    deps
+
+(* Recurrence bound on the innermost II after the transformation.
+   Returns None when an intra-iteration self-dependence makes
+   pipelining impossible ((0,0) with latency > 0 is a combinational
+   cycle and cannot appear in a well-formed nest, so treat it as
+   illegal input). *)
+let inner_rec_mii t deps =
+  List.fold_left
+    (fun acc d ->
+      let d' = apply t d in
+      if d'.d_outer = 0 && d'.d_inner > 0 then
+        max acc ((d.latency + d'.d_inner - 1) / d'.d_inner)
+      else acc)
+    1 deps
+
+let candidate_transforms =
+  Identity :: Interchange
+  :: List.concat_map (fun f -> [ Skew f; Interchange_skew f ]) [ -3; -2; -1; 1; 2; 3 ]
+
+(* The best legal transformation: minimal inner RecMII, ties broken by
+   simplicity (earlier in the candidate list). *)
+let best deps =
+  let legal_candidates = List.filter (fun t -> legal t deps) candidate_transforms in
+  match legal_candidates with
+  | [] -> None
+  | ts ->
+      let scored = List.map (fun t -> (inner_rec_mii t deps, t)) ts in
+      let best =
+        List.fold_left
+          (fun (bm, bt) (m, t) -> if m < bm then (m, t) else (bm, bt))
+          (List.hd scored) (List.tl scored)
+      in
+      Some best
+
+(* Report table for a nest: each candidate with legality and bound. *)
+let report deps =
+  List.map
+    (fun t ->
+      let ok = legal t deps in
+      (t, ok, if ok then Some (inner_rec_mii t deps) else None))
+    candidate_transforms

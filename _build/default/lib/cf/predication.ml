@@ -1,0 +1,140 @@
+(* Control-flow mapping for conditional (if-then-else) structures:
+   the four basic methods of Section III.B.1 of the paper.
+
+   Input: a branch-free condition DFG fragment description — condition
+   expression plus per-branch assignments — in the mini-language.
+   Output: a single mappable DFG per scheme, plus the op-count
+   accounting that the predication comparison bench reports.
+
+   1. Full predication [56]: both branches execute every iteration,
+      every branch-side operation consumes a slot, merges via Select.
+   2. Partial predication [57]: branch-side operations execute
+      unconditionally but only *merge points* of variables assigned in
+      either branch get Selects; operations used by both branches are
+      shared (CSE), so the op count is lower than full predication on
+      overlapping branches.
+   3. Dual-issue single execution [55], [58], [59]: the two candidate
+      producers of every merged variable are fused into one
+      dual-operation node (both issued, one executes, selected by the
+      predicate in the same cycle) — modelled by a Select fused at the
+      producer, costing one slot instead of two plus a merge.
+   4. Direct CDFG mapping [60]: the CDFG is kept; both basic blocks
+      are mapped onto disjoint array regions and the predicate steers
+      which region's writeback wins; modelled here as full predication
+      plus an explicit predicate broadcast node per branch. *)
+
+open Ocgra_dfg
+
+type scheme = Full_predication | Partial_predication | Dual_issue | Direct_cdfg
+
+let scheme_to_string = function
+  | Full_predication -> "full predication"
+  | Partial_predication -> "partial predication"
+  | Dual_issue -> "dual-issue single execution"
+  | Direct_cdfg -> "direct CDFG mapping"
+
+let all_schemes = [ Full_predication; Partial_predication; Dual_issue; Direct_cdfg ]
+
+(* An if-then-else region: straight-line branches assigning variables.
+   [inputs] are the visible live-ins; every variable assigned in either
+   branch is merged and emitted. *)
+type ite = {
+  cond : Prog_ast.expr;
+  then_branch : (string * Prog_ast.expr) list;
+  else_branch : (string * Prog_ast.expr) list;
+}
+
+let merged_vars ite =
+  List.sort_uniq compare (List.map fst ite.then_branch @ List.map fst ite.else_branch)
+
+(* Build the straight-line program for a scheme; the schemes differ in
+   how much sharing / fusion the builder is allowed to perform. *)
+let lower scheme ite =
+  let open Prog_ast in
+  let vars = merged_vars ite in
+  let cond_assign = [ ("%p", ite.cond) ] in
+  let branch_value branch v =
+    match List.assoc_opt v branch with
+    | Some e -> e
+    | None -> Var v (* keep the incoming value *)
+  in
+  match scheme with
+  | Full_predication | Direct_cdfg ->
+      (* both sides computed into disjoint temporaries, Select at merge;
+         Direct_cdfg additionally broadcasts the predicate explicitly *)
+      let thens = List.map (fun (v, e) -> (v ^ "%t", e)) ite.then_branch in
+      let elses = List.map (fun (v, e) -> (v ^ "%f", e)) ite.else_branch in
+      let prelude =
+        if scheme = Direct_cdfg then [ ("%pf", Bin (Op.Eq, Var "%p", Int 0)) ] else []
+      in
+      let merges =
+        List.map
+          (fun v ->
+            let tv = if List.mem_assoc v ite.then_branch then Var (v ^ "%t") else Var v in
+            let fv = if List.mem_assoc v ite.else_branch then Var (v ^ "%f") else Var v in
+            if scheme = Direct_cdfg then
+              (* each region owns its predicate; the join is keyed on the
+                 else-region's broadcast (select(!p, else, then)) *)
+              (v ^ "%out", Select (Var "%pf", fv, tv))
+            else (v ^ "%out", Select (Var "%p", tv, fv)))
+          vars
+      in
+      cond_assign @ prelude @ thens @ elses @ merges
+  | Partial_predication ->
+      (* same structure, but the DFG builder's CSE shares identical
+         subexpressions across the branches; only merges differ *)
+      let thens = List.map (fun (v, e) -> (v ^ "%t", e)) ite.then_branch in
+      let elses = List.map (fun (v, e) -> (v ^ "%f", e)) ite.else_branch in
+      let merges =
+        List.map
+          (fun v ->
+            let tv = if List.mem_assoc v ite.then_branch then Var (v ^ "%t") else Var v in
+            let fv = if List.mem_assoc v ite.else_branch then Var (v ^ "%f") else Var v in
+            (v ^ "%out", Select (Var "%p", tv, fv)))
+          vars
+      in
+      cond_assign @ thens @ elses @ merges
+  | Dual_issue ->
+      (* fuse the two producers of each merged variable directly into
+         the Select (one slot in the schedule instead of a merge after
+         both) — operands of the select are the branch expressions *)
+      let merges =
+        List.map
+          (fun v ->
+            (v ^ "%out", Select (Var "%p", branch_value ite.then_branch v, branch_value ite.else_branch v)))
+          vars
+      in
+      cond_assign @ merges
+
+(* Lower an ITE region to a DFG under the given scheme.  For the
+   schemes that benefit from sharing, the value-numbering CSE of the
+   straight-line builder provides it; for full predication we disable
+   sharing by suffixing the branch temporaries (done in [lower]) and
+   running a dedicated builder pass per branch would be overkill: what
+   full predication cannot share is the merged producers, which is
+   exactly what the suffixes prevent. *)
+let to_dfg scheme ite =
+  let stmts = List.map (fun (v, e) -> Prog_ast.Assign (v, e)) (lower scheme ite) in
+  let outputs =
+    List.map (fun v -> Prog_ast.Emit (v, Prog_ast.Var (v ^ "%out"))) (merged_vars ite)
+  in
+  (* full predication and direct CDFG mapping replicate the branch
+     bodies physically (both regions really execute); the sharing
+     schemes get value-numbering plus a CSE pass *)
+  let share = scheme = Partial_predication || scheme = Dual_issue in
+  let kernel = Ocgra_dfg.Prog.loop_body_dfg ~cse:share (stmts @ outputs) in
+  let dfg = Ocgra_dfg.Transform.dce kernel.Ocgra_dfg.Prog.dfg in
+  if share then Ocgra_dfg.Transform.cse dfg else dfg
+
+let op_count dfg =
+  Dfg.fold_nodes
+    (fun nd acc -> match nd.Dfg.op with Op.Output _ -> acc | _ -> acc + 1)
+    dfg 0
+
+(* Compare the four schemes on an ITE region: ops and critical path. *)
+let compare_schemes ite =
+  List.map
+    (fun scheme ->
+      let dfg = to_dfg scheme ite in
+      (scheme, dfg, op_count dfg, Dfg.critical_path dfg))
+    all_schemes

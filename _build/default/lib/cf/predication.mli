@@ -1,0 +1,36 @@
+(** Control-flow mapping for if-then-else regions: the four basic
+    methods of Section III.B.1 of the paper, each lowering the same
+    branch to a different branch-free DFG.  All four are semantically
+    equivalent (property-tested); they differ in op count and depth. *)
+
+type scheme =
+  | Full_predication  (** both branches execute, Select at every merge [56] *)
+  | Partial_predication  (** branch bodies shared by CSE, Selects at merges [57] *)
+  | Dual_issue  (** producers fused into the Select itself [55], [58], [59] *)
+  | Direct_cdfg  (** both regions mapped, explicit predicate broadcast [60] *)
+
+val scheme_to_string : scheme -> string
+val all_schemes : scheme list
+
+(** An if-then-else region: straight-line branches assigning
+    variables; every assigned variable is merged and emitted. *)
+type ite = {
+  cond : Ocgra_dfg.Prog_ast.expr;
+  then_branch : (string * Ocgra_dfg.Prog_ast.expr) list;
+  else_branch : (string * Ocgra_dfg.Prog_ast.expr) list;
+}
+
+(** Variables assigned in either branch, sorted. *)
+val merged_vars : ite -> string list
+
+(** The straight-line program a scheme lowers the region to. *)
+val lower : scheme -> ite -> (string * Ocgra_dfg.Prog_ast.expr) list
+
+(** Lower to a mappable DFG (with the scheme's sharing policy). *)
+val to_dfg : scheme -> ite -> Ocgra_dfg.Dfg.t
+
+(** Operations excluding Outputs. *)
+val op_count : Ocgra_dfg.Dfg.t -> int
+
+(** Each scheme with its DFG, op count and critical path. *)
+val compare_schemes : ite -> (scheme * Ocgra_dfg.Dfg.t * int * int) list

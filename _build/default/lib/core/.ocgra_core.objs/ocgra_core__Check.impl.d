@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Cgra Dfg List Mapping Ocgra_arch Ocgra_dfg Op Pe Printf Problem String

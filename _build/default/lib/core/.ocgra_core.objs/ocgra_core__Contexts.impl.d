@@ -1,0 +1,1 @@
+lib/core/contexts.ml: Array Cgra Context Dfg Hashtbl List Mapping Ocgra_arch Ocgra_dfg Op Pe Problem

@@ -1,0 +1,1 @@
+lib/core/contexts.mli: Mapping Ocgra_arch Problem

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Cgra Hashtbl List Mapping Ocgra_arch Printf Problem

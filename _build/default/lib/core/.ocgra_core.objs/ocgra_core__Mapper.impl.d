@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Check Mapping Ocgra_util Printf Problem String Sys Taxonomy

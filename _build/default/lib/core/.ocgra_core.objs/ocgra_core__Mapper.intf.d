@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Mapping Ocgra_util Problem Taxonomy

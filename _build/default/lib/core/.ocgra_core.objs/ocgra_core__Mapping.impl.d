@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Buffer List Ocgra_arch Ocgra_dfg Ocgra_util Printf String

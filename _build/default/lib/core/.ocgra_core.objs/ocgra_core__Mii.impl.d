@@ -1,0 +1,1 @@
+lib/core/mii.ml: Cgra Dfg Fun List Ocgra_arch Ocgra_dfg Op Pe

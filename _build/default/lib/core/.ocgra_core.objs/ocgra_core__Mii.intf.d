@@ -1,0 +1,1 @@
+lib/core/mii.mli: Ocgra_arch Ocgra_dfg

@@ -1,0 +1,1 @@
+lib/core/pathfinder.mli: Mapping Problem

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Cgra Dfg Ocgra_arch Ocgra_dfg Printf

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Ocgra_arch Ocgra_dfg

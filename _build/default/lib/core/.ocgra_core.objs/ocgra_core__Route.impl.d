@@ -1,0 +1,1 @@
+lib/core/route.ml: Array Cgra List Mapping Occupancy Ocgra_arch Pe

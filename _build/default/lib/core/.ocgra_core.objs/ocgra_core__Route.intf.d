@@ -1,0 +1,1 @@
+lib/core/route.mli: Mapping Occupancy Ocgra_arch

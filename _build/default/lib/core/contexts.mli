@@ -1,0 +1,15 @@
+(** Configuration generation: a valid mapping becomes the II context
+    words of Fig. 2c — opcode, operand mux selects, RF write-enables —
+    the hardware/software contract the paper highlights. *)
+
+type build = {
+  contexts : Ocgra_arch.Context.t array;  (** one context per II cycle *)
+  dict : Ocgra_arch.Context.Dict.t;  (** stream / array name interning *)
+}
+
+val of_mapping : Problem.t -> Mapping.t -> build
+
+(** Raw 53-bit words: [.(cycle).(pe)]. *)
+val encode : build -> int64 array array
+
+val to_string : Problem.t -> build -> string

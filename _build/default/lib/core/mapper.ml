@@ -1,0 +1,53 @@
+(* The common mapper interface.
+
+   Every technique in the framework — one per cell of Table I — is a
+   value of [t]: a named, classified function from problem to (maybe)
+   mapping.  [run] wraps the raw algorithm with the independent
+   validator so an invalid mapping is reported as a failure, never as a
+   success. *)
+
+module Rng = Ocgra_util.Rng
+
+type outcome = {
+  mapping : Mapping.t option;
+  proven_optimal : bool; (* exact method proved II optimal within budget *)
+  attempts : int; (* IIs tried, restarts, ... (method-specific) *)
+  elapsed_s : float;
+  note : string;
+}
+
+type t = {
+  name : string;
+  citation : string; (* representative papers from the survey *)
+  scope : Taxonomy.scope;
+  approach : Taxonomy.approach;
+  map : Problem.t -> Rng.t -> outcome;
+}
+
+let make ~name ~citation ~scope ~approach map = { name; citation; scope; approach; map }
+
+let no_mapping ?(note = "") ~attempts ~elapsed_s () =
+  { mapping = None; proven_optimal = false; attempts; elapsed_s; note }
+
+(* Run a mapper and validate its output; invalid results are demoted to
+   failures with the violations in [note]. *)
+let run (mapper : t) ?(seed = 42) (p : Problem.t) =
+  let rng = Rng.create seed in
+  let t0 = Sys.time () in
+  let outcome = mapper.map p rng in
+  let elapsed_s = Sys.time () -. t0 in
+  match outcome.mapping with
+  | None -> { outcome with elapsed_s }
+  | Some m -> (
+      match Check.validate p m with
+      | [] -> { outcome with elapsed_s }
+      | violations ->
+          {
+            mapping = None;
+            proven_optimal = false;
+            attempts = outcome.attempts;
+            elapsed_s;
+            note =
+              Printf.sprintf "INVALID mapping produced by %s: %s" mapper.name
+                (String.concat " | " violations);
+          })

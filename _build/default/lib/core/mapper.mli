@@ -1,0 +1,33 @@
+(** The common mapper interface: every technique in the framework —
+    one per Table I cell — is a value of {!t}. *)
+
+type outcome = {
+  mapping : Mapping.t option;
+  proven_optimal : bool;  (** the II was certified minimal within budget *)
+  attempts : int;  (** IIs tried, restarts, ... (method-specific) *)
+  elapsed_s : float;
+  note : string;
+}
+
+type t = {
+  name : string;
+  citation : string;  (** representative papers from the survey *)
+  scope : Taxonomy.scope;
+  approach : Taxonomy.approach;
+  map : Problem.t -> Ocgra_util.Rng.t -> outcome;
+}
+
+val make :
+  name:string ->
+  citation:string ->
+  scope:Taxonomy.scope ->
+  approach:Taxonomy.approach ->
+  (Problem.t -> Ocgra_util.Rng.t -> outcome) ->
+  t
+
+val no_mapping : ?note:string -> attempts:int -> elapsed_s:float -> unit -> outcome
+
+(** Run a mapper and validate its output with {!Check.validate}:
+    invalid mappings are demoted to failures with the violations in
+    [note], so a mapper can never report a wrong mapping as success. *)
+val run : t -> ?seed:int -> Problem.t -> outcome

@@ -1,0 +1,37 @@
+(* Minimum initiation interval bounds.
+
+   ResMII: for each functional class, the ops needing it divided by the
+   PEs providing it.  RecMII: the recurrence bound from the DFG's
+   dependence cycles.  MII = max of the two; no modulo schedule can beat
+   it, which gives the exact methods their optimality reference. *)
+
+open Ocgra_dfg
+open Ocgra_arch
+
+let res_mii (dfg : Dfg.t) (cgra : Cgra.t) =
+  let classes = [ Op.F_alu; Op.F_mul; Op.F_mem; Op.F_io ] in
+  let bound_for cls =
+    let need =
+      Dfg.fold_nodes
+        (fun nd acc -> if Op.func_class nd.Dfg.op = cls then acc + 1 else acc)
+        dfg 0
+    in
+    if need = 0 then 1
+    else begin
+      let have =
+        List.length
+          (List.filter
+             (fun pe -> Pe.has_class (Cgra.pe cgra pe) cls)
+             (List.init (Cgra.pe_count cgra) Fun.id))
+      in
+      if have = 0 then max_int (* unmappable on this array *)
+      else (need + have - 1) / have
+    end
+  in
+  (* total-op pressure across all PEs is also a bound *)
+  let total = (Dfg.node_count dfg + Cgra.pe_count cgra - 1) / Cgra.pe_count cgra in
+  List.fold_left (fun acc cls -> max acc (bound_for cls)) (max 1 total) classes
+
+let rec_mii (dfg : Dfg.t) = Dfg.rec_mii dfg
+
+let mii dfg cgra = max (res_mii dfg cgra) (rec_mii dfg)

@@ -1,0 +1,13 @@
+(** Minimum initiation interval bounds: no modulo schedule can beat
+    max(ResMII, RecMII), which is what gives the exact mappers their
+    optimality certificates. *)
+
+(** Resource bound: per functional class, ops needing it over PEs
+    providing it (also the total-ops / total-PEs pressure);
+    [max_int] when some class has no provider. *)
+val res_mii : Ocgra_dfg.Dfg.t -> Ocgra_arch.Cgra.t -> int
+
+(** Recurrence bound from the dependence cycles. *)
+val rec_mii : Ocgra_dfg.Dfg.t -> int
+
+val mii : Ocgra_dfg.Dfg.t -> Ocgra_arch.Cgra.t -> int

@@ -1,0 +1,84 @@
+(* Modulo resource occupancy: who uses each FU slot (pe, cycle mod II)
+   and how many values sit in each register file per slot.
+
+   This is the bookkeeping side of the MRRG: constructive mappers claim
+   resources as they bind and route, and ask the router for paths that
+   avoid (or negotiate with) claimed resources.  RF pressure counts per
+   slot model a rotating register file ([29]): a value alive L cycles
+   costs one entry in each of the L successive slots (so ceil(L/II)
+   physical registers), which makes per-slot counting exact. *)
+
+type user = U_node of int | U_route of int (* DFG node id / DFG edge index *)
+
+type t = {
+  ii : int;
+  npe : int;
+  fu : user option array; (* (pe * ii + slot) -> user *)
+  rf : int array; (* (pe * ii + slot) -> live value count *)
+}
+
+let create ~npe ~ii =
+  { ii; npe; fu = Array.make (npe * ii) None; rf = Array.make (npe * ii) 0 }
+
+let slot_index t pe time = (pe * t.ii) + (((time mod t.ii) + t.ii) mod t.ii)
+
+let fu_user t ~pe ~time = t.fu.(slot_index t pe time)
+let fu_free t ~pe ~time = fu_user t ~pe ~time = None
+
+let claim_fu t ~pe ~time user =
+  let i = slot_index t pe time in
+  match t.fu.(i) with
+  | None -> t.fu.(i) <- Some user
+  | Some _ -> invalid_arg "Occupancy.claim_fu: slot already in use"
+
+let release_fu t ~pe ~time =
+  let i = slot_index t pe time in
+  t.fu.(i) <- None
+
+let rf_count t ~pe ~time = t.rf.(slot_index t pe time)
+
+(* A hold written at end of [from_] and read during [until] occupies
+   one entry during every cycle in (from_, until]. *)
+let hold_span ~from_ ~until = List.init (until - from_) (fun i -> from_ + 1 + i)
+
+let claim_hold t ~pe ~from_ ~until =
+  List.iter
+    (fun cy ->
+      let i = slot_index t pe cy in
+      t.rf.(i) <- t.rf.(i) + 1)
+    (hold_span ~from_ ~until)
+
+let release_hold t ~pe ~from_ ~until =
+  List.iter
+    (fun cy ->
+      let i = slot_index t pe cy in
+      t.rf.(i) <- t.rf.(i) - 1)
+    (hold_span ~from_ ~until)
+
+let claim_route t edge_idx (route : Mapping.route) =
+  List.iter
+    (function
+      | Mapping.Hop { pe; time } -> claim_fu t ~pe ~time (U_route edge_idx)
+      | Mapping.Hold { pe; from_; until } -> claim_hold t ~pe ~from_ ~until)
+    route
+
+let release_route t (route : Mapping.route) =
+  List.iter
+    (function
+      | Mapping.Hop { pe; time } -> release_fu t ~pe ~time
+      | Mapping.Hold { pe; from_; until } -> release_hold t ~pe ~from_ ~until)
+    route
+
+(* Rebuild the full occupancy of a mapping; raises if overlapping. *)
+let of_mapping ~npe (m : Mapping.t) =
+  let t = create ~npe ~ii:m.ii in
+  Array.iteri (fun v (pe, time) -> claim_fu t ~pe ~time (U_node v)) m.binding;
+  Array.iteri (fun i route -> claim_route t i route) m.routes;
+  t
+
+let fu_used_count t =
+  Array.fold_left (fun acc u -> match u with Some _ -> acc + 1 | None -> acc) 0 t.fu
+
+(* Fraction of FU slots in use: the utilization number of the Fig. 1
+   style comparisons. *)
+let utilization t = float_of_int (fu_used_count t) /. float_of_int (Array.length t.fu)

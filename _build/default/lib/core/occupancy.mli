@@ -1,0 +1,40 @@
+(** Modulo resource occupancy: which FU slot (pe, cycle mod II) is used
+    by what, and how many values live in each register file per slot
+    (rotating-register accounting, which makes per-slot counting
+    exact). *)
+
+type user = U_node of int | U_route of int  (** DFG node id / edge index *)
+
+type t = {
+  ii : int;
+  npe : int;
+  fu : user option array;
+  rf : int array;
+}
+
+val create : npe:int -> ii:int -> t
+val slot_index : t -> int -> int -> int
+val fu_user : t -> pe:int -> time:int -> user option
+val fu_free : t -> pe:int -> time:int -> bool
+
+(** Raises [Invalid_argument] when the slot is taken. *)
+val claim_fu : t -> pe:int -> time:int -> user -> unit
+
+val release_fu : t -> pe:int -> time:int -> unit
+val rf_count : t -> pe:int -> time:int -> int
+
+(** Cycles a hold occupies: (from_, until]. *)
+val hold_span : from_:int -> until:int -> int list
+
+val claim_hold : t -> pe:int -> from_:int -> until:int -> unit
+val release_hold : t -> pe:int -> from_:int -> until:int -> unit
+val claim_route : t -> int -> Mapping.route -> unit
+val release_route : t -> Mapping.route -> unit
+
+(** Rebuild a mapping's full occupancy; raises on internal conflicts. *)
+val of_mapping : npe:int -> Mapping.t -> t
+
+val fu_used_count : t -> int
+
+(** Used FU slots / all FU slots. *)
+val utilization : t -> float

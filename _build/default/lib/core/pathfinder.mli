@@ -1,0 +1,11 @@
+(** Negotiated-congestion routing (PathFinder, as SPR ported it to
+    CGRAs): route every edge of a fixed binding simultaneously under
+    soft resource prices, raising history costs on over-subscribed
+    resources until the routes untangle. *)
+
+(** [route_all p ~ii binding ~max_iters] returns a checker-valid full
+    mapping, or [None] when an edge is unroutable or negotiation does
+    not converge within the budget.  Node placement legality is the
+    caller's responsibility (see [Ocgra_mappers.Finalize]). *)
+val route_all :
+  Problem.t -> ii:int -> (int * int) array -> max_iters:int -> Mapping.t option

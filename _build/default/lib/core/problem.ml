@@ -1,0 +1,53 @@
+(* The unified mapping problem formulation (Section II.C of the paper):
+
+   "bind in place and schedule in time operations of the application on
+   the CGRA while guaranteeing the dependencies and in a short time,
+   such that the application executes as fast as possible."
+
+   A spatial problem asks for a one-op-per-PE pipeline (II = 1, each PE
+   used by at most one operation or routing hop).  A temporal problem
+   asks for a modulo schedule: operations share PEs in time, and the
+   schedule repeats every II cycles. *)
+
+open Ocgra_dfg
+open Ocgra_arch
+
+type kind =
+  | Spatial (* II = 1 pipeline; every FU used at most once *)
+  | Temporal of { max_ii : int; max_time : int }
+
+type t = {
+  dfg : Dfg.t;
+  cgra : Cgra.t;
+  kind : kind;
+  init : int -> int; (* initial (iteration -1) value of each node, for recurrences *)
+}
+
+let make ?(init = fun (_ : int) -> 0) ~dfg ~cgra kind = { dfg; cgra; kind; init }
+
+let spatial ?init ~dfg ~cgra () = make ?init ~dfg ~cgra Spatial
+
+let temporal ?init ?max_ii ?max_time ~dfg ~cgra () =
+  let max_ii = match max_ii with Some i -> i | None -> max 1 (Dfg.node_count dfg) in
+  let max_time =
+    match max_time with Some t -> t | None -> (4 * Dfg.critical_path dfg) + 16
+  in
+  make ?init ~dfg ~cgra (Temporal { max_ii; max_time })
+
+let is_spatial t = t.kind = Spatial
+
+let max_ii t = match t.kind with Spatial -> 1 | Temporal { max_ii; _ } -> max_ii
+
+let max_time t =
+  match t.kind with
+  | Spatial -> (2 * Dfg.node_count t.dfg) + Dfg.critical_path t.dfg + 4
+  | Temporal { max_time; _ } -> max_time
+
+let describe t =
+  Printf.sprintf "%s on %s (%s, %d ops, %d deps)"
+    (match t.kind with
+    | Spatial -> "spatial mapping"
+    | Temporal { max_ii; _ } -> Printf.sprintf "temporal mapping (II <= %d)" max_ii)
+    t.cgra.Cgra.name
+    (if Dfg.is_acyclic t.dfg then "acyclic" else "with recurrences")
+    (Dfg.node_count t.dfg) (Dfg.edge_count t.dfg)

@@ -1,0 +1,37 @@
+(** The unified mapping problem formulation (Section II.C of the
+    paper): bind in place and schedule in time the operations of the
+    application on the CGRA while guaranteeing the dependencies. *)
+
+type kind =
+  | Spatial  (** II = 1 pipeline; every FU slot used at most once *)
+  | Temporal of { max_ii : int; max_time : int }
+
+type t = {
+  dfg : Ocgra_dfg.Dfg.t;
+  cgra : Ocgra_arch.Cgra.t;
+  kind : kind;
+  init : int -> int;  (** iteration -1 value of each node, for recurrences *)
+}
+
+val make : ?init:(int -> int) -> dfg:Ocgra_dfg.Dfg.t -> cgra:Ocgra_arch.Cgra.t -> kind -> t
+
+val spatial : ?init:(int -> int) -> dfg:Ocgra_dfg.Dfg.t -> cgra:Ocgra_arch.Cgra.t -> unit -> t
+
+(** [max_ii] defaults to the node count, [max_time] to a multiple of
+    the critical path. *)
+val temporal :
+  ?init:(int -> int) ->
+  ?max_ii:int ->
+  ?max_time:int ->
+  dfg:Ocgra_dfg.Dfg.t ->
+  cgra:Ocgra_arch.Cgra.t ->
+  unit ->
+  t
+
+val is_spatial : t -> bool
+val max_ii : t -> int
+
+(** Schedule horizon: bindings must place every op before this cycle. *)
+val max_time : t -> int
+
+val describe : t -> string

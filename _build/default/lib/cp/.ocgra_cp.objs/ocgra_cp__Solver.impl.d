@@ -1,0 +1,1 @@
+lib/cp/solver.ml: Array List Ocgra_util Printf

@@ -1,0 +1,1 @@
+lib/dfg/cdfg.ml: Buffer List Ocgra_graph Printf Prog_ast

@@ -1,0 +1,1 @@
+lib/dfg/cdfg.mli: Ocgra_graph Prog_ast

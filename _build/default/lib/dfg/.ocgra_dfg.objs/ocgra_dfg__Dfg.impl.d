@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Buffer Hashtbl List Ocgra_graph Op Printf

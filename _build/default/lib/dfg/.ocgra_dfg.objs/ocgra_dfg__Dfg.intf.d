@@ -1,0 +1,1 @@
+lib/dfg/dfg.mli: Ocgra_graph Op

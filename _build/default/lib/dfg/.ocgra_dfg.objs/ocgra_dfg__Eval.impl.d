@@ -1,0 +1,1 @@
+lib/dfg/eval.ml: Array Dfg Hashtbl List Ocgra_graph Op Option Printf

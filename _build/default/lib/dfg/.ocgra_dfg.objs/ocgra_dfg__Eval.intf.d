@@ -1,0 +1,1 @@
+lib/dfg/eval.mli: Dfg Hashtbl

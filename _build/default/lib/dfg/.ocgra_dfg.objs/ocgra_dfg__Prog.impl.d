@@ -1,0 +1,1 @@
+lib/dfg/prog.ml: Cdfg Dfg Hashtbl List Op Printf Prog_ast String

@@ -1,0 +1,1 @@
+lib/dfg/prog.mli: Cdfg Dfg Prog_ast

@@ -1,0 +1,1 @@
+lib/dfg/prog_ast.mli: Op

@@ -1,0 +1,1 @@
+lib/dfg/transform.ml: Array Dfg Hashtbl List Ocgra_graph Op Option Printf String

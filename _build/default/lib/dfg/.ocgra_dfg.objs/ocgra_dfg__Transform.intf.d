@@ -1,0 +1,1 @@
+lib/dfg/transform.mli: Dfg

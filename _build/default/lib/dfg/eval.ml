@@ -1,0 +1,100 @@
+(* Reference interpreter for DFGs with loop-carried edges.
+
+   This is the functional ground truth: the cycle-accurate simulator
+   must produce exactly these output streams for any valid mapping of
+   the same DFG, which is the end-to-end correctness test of every
+   mapper.
+
+   Within one iteration, nodes are evaluated in topological order of
+   the dist = 0 edges; a dist = d operand reads the producer's value
+   from iteration i - d (or its initial value when i < d).  Stores are
+   applied as they are evaluated; kernels where intra-iteration memory
+   order matters must express it with data dependences. *)
+
+type env = {
+  input : string -> int -> int; (* input name -> iteration -> value *)
+  memory : (string, int array) Hashtbl.t;
+}
+
+let env_of_streams ?(memory = []) streams =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (name, arr) -> Hashtbl.replace tbl name arr) streams;
+  let mem = Hashtbl.create 8 in
+  List.iter (fun (name, arr) -> Hashtbl.replace mem name (Array.copy arr)) memory;
+  let input name i =
+    match Hashtbl.find_opt tbl name with
+    | None -> invalid_arg (Printf.sprintf "Eval: no input stream %s" name)
+    | Some arr ->
+        if Array.length arr = 0 then invalid_arg (Printf.sprintf "Eval: empty stream %s" name)
+        else if i < Array.length arr then arr.(i)
+        else arr.(Array.length arr - 1) (* loop-invariant tail *)
+  in
+  { input; memory = mem }
+
+type result = {
+  outputs : (string, int list) Hashtbl.t; (* per output name, values in iteration order *)
+  values : int array array; (* values.(iter).(node) *)
+}
+
+let output_stream result name =
+  match Hashtbl.find_opt result.outputs name with Some l -> List.rev l | None -> []
+
+let run ?(init = fun (_ : int) -> 0) t env ~iters =
+  (match Dfg.validate t with
+  | [] -> ()
+  | p :: _ -> invalid_arg ("Eval.run: invalid DFG: " ^ p));
+  let order =
+    match Ocgra_graph.Topo.sort (Dfg.to_digraph t) with
+    | Some o -> o
+    | None -> invalid_arg "Eval.run: intra-iteration cycle"
+  in
+  let n = Dfg.node_count t in
+  let values = Array.init iters (fun _ -> Array.make n 0) in
+  let outputs = Hashtbl.create 8 in
+  (* Operand table: for each node, its in-edges sorted by port. *)
+  let operands = Array.make n [] in
+  Dfg.iter_edges (fun e -> operands.(e.dst) <- e :: operands.(e.dst)) t;
+  let operands =
+    Array.map (fun es -> List.sort (fun (a : Dfg.edge) b -> compare a.port b.port) es) operands
+  in
+  let read iter (e : Dfg.edge) =
+    let src_iter = iter - e.dist in
+    if src_iter < 0 then init e.src else values.(src_iter).(e.src)
+  in
+  for iter = 0 to iters - 1 do
+    List.iter
+      (fun v ->
+        let args = List.map (read iter) operands.(v) in
+        let value =
+          match (Dfg.op t v, args) with
+          | Op.Const c, [] -> c
+          | Op.Input s, [] -> env.input s iter
+          | Op.Output s, [ x ] ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt outputs s) in
+              Hashtbl.replace outputs s (x :: cur);
+              x
+          | Op.Binop b, [ x; y ] -> Op.eval_binop b x y
+          | Op.Not, [ x ] -> lnot x
+          | Op.Neg, [ x ] -> -x
+          | Op.Select, [ c; a; b ] -> if c <> 0 then a else b
+          | Op.Load arr, [ idx ] -> (
+              match Hashtbl.find_opt env.memory arr with
+              | None -> invalid_arg (Printf.sprintf "Eval: no memory array %s" arr)
+              | Some a -> a.((idx mod Array.length a + Array.length a) mod Array.length a))
+          | Op.Store arr, [ idx; x ] -> (
+              match Hashtbl.find_opt env.memory arr with
+              | None -> invalid_arg (Printf.sprintf "Eval: no memory array %s" arr)
+              | Some a ->
+                  a.((idx mod Array.length a + Array.length a) mod Array.length a) <- x;
+                  x)
+          | Op.Route, [ x ] -> x
+          | Op.Nop, [] -> 0
+          | op, args ->
+              invalid_arg
+                (Printf.sprintf "Eval: op %s applied to %d operands" (Op.to_string op)
+                   (List.length args))
+        in
+        values.(iter).(v) <- value)
+      order
+  done;
+  { outputs; values }

@@ -1,0 +1,30 @@
+(** Reference interpreter for DFGs with loop-carried edges: the
+    functional ground truth the cycle-accurate simulator is checked
+    against.
+
+    Within one iteration, nodes evaluate in topological order of the
+    dist-0 edges; a dist-d operand reads the producer's value from
+    iteration [i - d], or its initial value when [i < d]. *)
+
+type env = {
+  input : string -> int -> int;  (** stream name -> iteration -> value *)
+  memory : (string, int array) Hashtbl.t;
+}
+
+(** Build an environment from named streams (indexed per iteration;
+    the last element repeats for loop-invariant tails) and named
+    memory arrays (copied). *)
+val env_of_streams : ?memory:(string * int array) list -> (string * int array) list -> env
+
+type result = {
+  outputs : (string, int list) Hashtbl.t;  (** newest first; see {!output_stream} *)
+  values : int array array;  (** [values.(iter).(node)] *)
+}
+
+(** Output values of one stream in iteration order. *)
+val output_stream : result -> string -> int list
+
+(** [run ~init t env ~iters] evaluates [iters] iterations; [init]
+    supplies each node's iteration -1 value (default 0). Raises
+    [Invalid_argument] on invalid or intra-iteration-cyclic graphs. *)
+val run : ?init:(int -> int) -> Dfg.t -> env -> iters:int -> result

@@ -1,0 +1,258 @@
+(* Lowering from the mini-language to CDFG and to loop-body DFGs.
+
+   [to_cdfg] is the front-end proper: it produces the basic-block
+   structure of Fig. 3 (entry, init, header, body, exit).  [loop_body_dfg]
+   is the middle-end shortcut every modulo-scheduling paper applies to
+   innermost loops: the straight-line loop body becomes a DFG whose
+   use-before-def variables turn into distance-1 loop-carried edges. *)
+
+open Prog_ast
+
+(* ---------- Straight-line DFG builder with local value numbering ---------- *)
+
+type operand = Now of int | Later of string (* carried variable resolved after the pass *)
+
+type builder = {
+  dfg : Dfg.t;
+  mutable env : (string * int) list; (* variable -> producing node *)
+  cse : (string, int) Hashtbl.t; (* value-number key -> node *)
+  use_cse : bool; (* full predication disables sharing across branches *)
+  mutable pending : (int * int * string) list; (* (node, port, carried var) *)
+  defined : (string, unit) Hashtbl.t; (* variables assigned somewhere in the region *)
+  inputs : (string, int) Hashtbl.t; (* dedup of Input nodes *)
+}
+
+let make_builder ?(cse = true) () =
+  {
+    dfg = Dfg.create ();
+    env = [];
+    cse = Hashtbl.create 32;
+    use_cse = cse;
+    pending = [];
+    defined = Hashtbl.create 16;
+    inputs = Hashtbl.create 16;
+  }
+
+let lookup_var b v =
+  match List.assoc_opt v b.env with
+  | Some n -> Now n
+  | None ->
+      if Hashtbl.mem b.defined v then Later v (* defined later in the body: loop-carried *)
+      else begin
+        match Hashtbl.find_opt b.inputs v with
+        | Some n -> Now n
+        | None ->
+            let n = Dfg.input b.dfg v in
+            Hashtbl.replace b.inputs v n;
+            Now n
+      end
+
+let operand_key = function Now n -> Printf.sprintf "#%d" n | Later v -> "@" ^ v
+
+(* Create a node with the given operands, CSE-ing pure ops whose
+   operands are all resolved. *)
+let emit_node b op args =
+  let pure = b.use_cse && not (Op.has_side_effect op) in
+  let loadish = match op with Op.Load _ -> true | _ -> false in
+  let all_now = List.for_all (function Now _ -> true | Later _ -> false) args in
+  let key =
+    Printf.sprintf "%s(%s)" (Op.to_string op) (String.concat "," (List.map operand_key args))
+  in
+  match if pure && (not loadish) && all_now then Hashtbl.find_opt b.cse key else None with
+  | Some n -> n
+  | None ->
+      let n = Dfg.add b.dfg op in
+      List.iteri
+        (fun port arg ->
+          match arg with
+          | Now src -> Dfg.add_edge b.dfg ~src ~dst:n ~port
+          | Later v -> b.pending <- (n, port, v) :: b.pending)
+        args;
+      if pure && (not loadish) && all_now then Hashtbl.replace b.cse key n;
+      n
+
+let rec build_expr b e : operand =
+  match e with
+  | Int c -> Now (emit_node b (Op.Const c) [])
+  | Var v -> lookup_var b v
+  | Bin (op, x, y) ->
+      let x = build_expr b x and y = build_expr b y in
+      Now (emit_node b (Op.Binop op) [ x; y ])
+  | Not e -> Now (emit_node b Op.Not [ build_expr b e ])
+  | Neg e -> Now (emit_node b Op.Neg [ build_expr b e ])
+  | Select (c, x, y) ->
+      let c = build_expr b c and x = build_expr b x and y = build_expr b y in
+      Now (emit_node b Op.Select [ c; x; y ])
+  | Read (a, idx) -> Now (emit_node b (Op.Load a) [ build_expr b idx ])
+
+let force b = function
+  | Now n -> n
+  | Later v ->
+      (* Materialize a carried use through a Route node so it can be the
+         target of the backpatched distance-1 edge. *)
+      let n = Dfg.add b.dfg Op.Route in
+      b.pending <- (n, 0, v) :: b.pending;
+      n
+
+let build_straight b stmts =
+  List.iter
+    (fun s ->
+      match s with
+      | Cdfg.S_assign (v, e) ->
+          let n = force b (build_expr b e) in
+          b.env <- (v, n) :: List.remove_assoc v b.env
+      | Cdfg.S_write (a, idx, e) ->
+          let idx = build_expr b idx and e = build_expr b e in
+          ignore (emit_node b (Op.Store a) [ idx; e ])
+      | Cdfg.S_emit (o, e) -> ignore (emit_node b (Op.Output o) [ Now (force b (build_expr b e)) ]))
+    stmts
+
+(* ---------- Loop-body DFG with loop-carried edges ---------- *)
+
+type kernel = {
+  dfg : Dfg.t;
+  init : int -> int; (* initial value of each node's output (iteration -1) *)
+  carried : (string * int) list; (* carried variable -> defining node *)
+}
+
+let straight_of_stmt s =
+  match s with
+  | Assign (v, e) -> [ Cdfg.S_assign (v, e) ]
+  | Write (a, i, e) -> [ Cdfg.S_write (a, i, e) ]
+  | Emit (o, e) -> [ Cdfg.S_emit (o, e) ]
+  | If (c, t, f) ->
+      (* If-conversion to Select on every assigned variable: the body of
+         a kernel must be branch-free (the cf library offers richer
+         predication schemes on full CDFGs). *)
+      let assigned stmts =
+        List.concat_map (function Assign (v, _) -> [ v ] | _ -> []) stmts
+      in
+      let vars = List.sort_uniq compare (assigned t @ assigned f) in
+      let cond_var = "%ifc" in
+      (* Simple scheme: compute both branches into temporaries, then
+         select.  Reads inside branches refer to pre-branch values, so no
+         renaming of uses is required when each branch assigns distinct
+         temporaries. *)
+      let lower_branch suffix stmts =
+        List.concat_map
+          (fun s ->
+            match s with
+            | Assign (v, e) -> [ Cdfg.S_assign (v ^ suffix, e) ]
+            | Write _ | Emit _ ->
+                invalid_arg "loop_body_dfg: side effects inside if require explicit Select"
+            | If _ -> invalid_arg "loop_body_dfg: nested if not supported; use Select"
+            | For _ -> invalid_arg "loop_body_dfg: nested loop in kernel body")
+          stmts
+      in
+      [ Cdfg.S_assign (cond_var, c) ]
+      @ lower_branch "%t" t
+      @ lower_branch "%f" f
+      @ List.map
+          (fun v ->
+            let then_e = if List.exists (function Assign (w, _) -> w = v | _ -> false) t then Var (v ^ "%t") else Var v in
+            let else_e = if List.exists (function Assign (w, _) -> w = v | _ -> false) f then Var (v ^ "%f") else Var v in
+            Cdfg.S_assign (v, Select (Var cond_var, then_e, else_e)))
+          vars
+  | For _ -> invalid_arg "loop_body_dfg: nested loops must be unrolled or tiled first"
+
+(* [loop_body_dfg ~ivar ~lo body ~init] builds the kernel DFG of
+   [for ivar = lo; ...; ivar++ { body }].  [init] gives the pre-loop
+   value of each accumulator variable. *)
+let loop_body_dfg ?(init = []) ?(cse = true) ?ivar ?(lo = 0) body =
+  let body =
+    match ivar with
+    | Some v -> body @ [ Assign (v, Bin (Op.Add, Var v, Int 1)) ]
+    | None -> body
+  in
+  let straight = List.concat_map straight_of_stmt body in
+  let b = make_builder ~cse () in
+  List.iter
+    (function Cdfg.S_assign (v, _) -> Hashtbl.replace b.defined v () | _ -> ())
+    straight;
+  build_straight b straight;
+  (* Backpatch carried uses: distance-1 edge from the final definition. *)
+  let carried = Hashtbl.create 8 in
+  List.iter
+    (fun (node, port, v) ->
+      match List.assoc_opt v b.env with
+      | Some src ->
+          Dfg.add_edge b.dfg ~src ~dst:node ~port ~dist:1;
+          Hashtbl.replace carried v src
+      | None -> invalid_arg (Printf.sprintf "loop_body_dfg: carried var %s never defined" v))
+    b.pending;
+  let init_tbl = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun v src ->
+      let value =
+        match List.assoc_opt v init with
+        | Some value -> value
+        | None -> if Some v = ivar then lo else 0
+      in
+      Hashtbl.replace init_tbl src value)
+    carried;
+  (* The increment node computes ivar+1, so iteration -1 must present
+     lo, meaning the node's init is lo... but the node output at
+     iteration i is ivar(i)+1; for uses at iteration 0 to read lo the
+     init of the defining node is exactly lo.  Same reasoning holds for
+     accumulators: init = pre-loop value. *)
+  let init n = match Hashtbl.find_opt init_tbl n with Some v -> v | None -> 0 in
+  { dfg = b.dfg; init; carried = Hashtbl.fold (fun v n acc -> (v, n) :: acc) carried [] }
+
+(* ---------- Structured lowering to CDFG (Fig. 3) ---------- *)
+
+let to_cdfg (prog : t) =
+  let cdfg = Cdfg.create () in
+  let tmp_counter = ref 0 in
+  let fresh_tmp () =
+    incr tmp_counter;
+    Printf.sprintf "%%c%d" !tmp_counter
+  in
+  let entry = Cdfg.add_block ~label:"BB0 (entry)" cdfg in
+  let rec lower (cur : Cdfg.block) stmts : Cdfg.block =
+    match stmts with
+    | [] -> cur
+    | Assign (v, e) :: rest ->
+        cur.stmts <- cur.stmts @ [ Cdfg.S_assign (v, e) ];
+        lower cur rest
+    | Write (a, i, e) :: rest ->
+        cur.stmts <- cur.stmts @ [ Cdfg.S_write (a, i, e) ];
+        lower cur rest
+    | Emit (o, e) :: rest ->
+        cur.stmts <- cur.stmts @ [ Cdfg.S_emit (o, e) ];
+        lower cur rest
+    | If (c, then_s, else_s) :: rest ->
+        let cv = fresh_tmp () in
+        cur.stmts <- cur.stmts @ [ Cdfg.S_assign (cv, c) ];
+        let bt = Cdfg.add_block cdfg and bf = Cdfg.add_block cdfg in
+        cur.term <- Branch { cond = cv; if_true = bt.id; if_false = bf.id };
+        let bt_end = lower bt then_s and bf_end = lower bf else_s in
+        let join = Cdfg.add_block cdfg in
+        bt_end.term <- Jump join.id;
+        bf_end.term <- Jump join.id;
+        lower join rest
+    | For (v, lo, hi, body) :: rest ->
+        cur.stmts <- cur.stmts @ [ Cdfg.S_assign (v, lo) ];
+        let header = Cdfg.add_block cdfg in
+        cur.term <- Jump header.id;
+        let cv = fresh_tmp () in
+        header.stmts <- [ Cdfg.S_assign (cv, Bin (Op.Lt, Var v, hi)) ];
+        let body_b = Cdfg.add_block cdfg and exit_b = Cdfg.add_block cdfg in
+        header.term <- Branch { cond = cv; if_true = body_b.id; if_false = exit_b.id };
+        let body_end = lower body_b body in
+        body_end.stmts <- body_end.stmts @ [ Cdfg.S_assign (v, Bin (Op.Add, Var v, Int 1)) ];
+        body_end.term <- Jump header.id;
+        lower exit_b rest
+  in
+  let last = lower entry prog in
+  last.term <- Return;
+  cdfg
+
+(* Per-block DFG: Inputs for variables live into the block, Outputs for
+   variables it defines (conservatively all of them). *)
+let block_dfg (blk : Cdfg.block) =
+  let b = make_builder () in
+  build_straight b blk.stmts;
+  assert (b.pending = []);
+  (* no carried vars in a basic block *)
+  List.iter (fun (v, n) -> ignore (Dfg.output b.dfg v n)) (List.rev b.env);
+  b.dfg

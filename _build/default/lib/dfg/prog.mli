@@ -1,0 +1,34 @@
+(** Lowering from the mini-language: [to_cdfg] is the front-end proper
+    (basic blocks, Fig. 3); [loop_body_dfg] is the middle-end shortcut
+    every modulo-scheduling paper applies to innermost loops. *)
+
+(** A loop kernel: its DFG, the iteration -1 value of every node (the
+    accumulators' initial values), and the carried variables with their
+    defining nodes. *)
+type kernel = {
+  dfg : Dfg.t;
+  init : int -> int;
+  carried : (string * int) list;
+}
+
+(** [loop_body_dfg ~init ~ivar ~lo body] builds the kernel of
+    [for ivar = lo; ...; ivar++ { body }]: use-before-def variables
+    that the body also assigns become distance-1 loop-carried edges;
+    [init] gives accumulator pre-loop values; [If] statements are
+    if-converted to [Select]s (side effects inside branches must be
+    written with explicit [Select]s). *)
+val loop_body_dfg :
+  ?init:(string * int) list ->
+  ?cse:bool ->
+  ?ivar:string ->
+  ?lo:int ->
+  Prog_ast.stmt list ->
+  kernel
+
+(** Structured lowering to basic blocks: entry, loop pre-headers,
+    headers with branch terminators, bodies, exits. *)
+val to_cdfg : Prog_ast.t -> Cdfg.t
+
+(** Per-block DFG: Inputs for live-in variables, Outputs for every
+    variable the block assigns. *)
+val block_dfg : Cdfg.block -> Dfg.t

@@ -1,0 +1,1 @@
+lib/graph/clique.ml: Array Digraph List Ocgra_util

@@ -1,0 +1,1 @@
+lib/graph/mcs.ml: Array Clique Digraph List

@@ -1,0 +1,1 @@
+lib/graph/mcs.mli: Clique Digraph

@@ -1,0 +1,20 @@
+(** Maximum clique (Bron-Kerbosch with pivoting) over an undirected
+    graph; compatibility-graph binding and the MCS product search run
+    on this. *)
+
+type t
+
+val create : int -> t
+
+(** Undirected edge; raises on self loops. *)
+val add_edge : t -> int -> int -> unit
+
+val mem_edge : t -> int -> int -> bool
+
+(** Every arc of the digraph as an undirected edge. *)
+val of_digraph_sym : Digraph.t -> t
+
+(** [maximum t] returns (clique members sorted, proven); [proven] is
+    false when the [max_steps] budget stopped the exact search, in
+    which case the clique is the best found so far. *)
+val maximum : ?max_steps:int -> t -> int list * bool

@@ -1,0 +1,138 @@
+(* Growable directed graph over dense integer node ids.
+
+   All graph-shaped structures in the framework (DFGs, MRRGs, product
+   graphs, constraint graphs) are instances of this one representation,
+   so the algorithm modules (Topo, Scc, Paths, Matching, Clique, Mcs,
+   Iso) apply uniformly. Nodes are 0..n-1; parallel edges are allowed;
+   each edge may carry an integer weight (default 1). *)
+
+type edge = { src : int; dst : int; weight : int }
+
+type t = {
+  mutable succ : edge list array; (* outgoing edges per node *)
+  mutable pred : edge list array; (* incoming edges per node *)
+  mutable n : int;
+}
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  { succ = Array.make capacity []; pred = Array.make capacity []; n = 0 }
+
+let node_count t = t.n
+
+let ensure_capacity t needed =
+  let cap = Array.length t.succ in
+  if needed > cap then begin
+    let cap' = max needed (2 * cap) in
+    let succ = Array.make cap' [] and pred = Array.make cap' [] in
+    Array.blit t.succ 0 succ 0 t.n;
+    Array.blit t.pred 0 pred 0 t.n;
+    t.succ <- succ;
+    t.pred <- pred
+  end
+
+let add_node t =
+  ensure_capacity t (t.n + 1);
+  let id = t.n in
+  t.n <- t.n + 1;
+  id
+
+let add_nodes t k =
+  let first = t.n in
+  ensure_capacity t (t.n + k);
+  t.n <- t.n + k;
+  first
+
+let check_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Digraph: node out of range"
+
+let add_edge ?(weight = 1) t src dst =
+  check_node t src;
+  check_node t dst;
+  let e = { src; dst; weight } in
+  t.succ.(src) <- e :: t.succ.(src);
+  t.pred.(dst) <- e :: t.pred.(dst)
+
+let succ_edges t v =
+  check_node t v;
+  t.succ.(v)
+
+let pred_edges t v =
+  check_node t v;
+  t.pred.(v)
+
+let succ t v = List.rev_map (fun e -> e.dst) (succ_edges t v)
+let pred t v = List.rev_map (fun e -> e.src) (pred_edges t v)
+
+let out_degree t v = List.length (succ_edges t v)
+let in_degree t v = List.length (pred_edges t v)
+
+let mem_edge t src dst =
+  check_node t src;
+  List.exists (fun e -> e.dst = dst) t.succ.(src)
+
+let edge_count t =
+  let c = ref 0 in
+  for v = 0 to t.n - 1 do
+    c := !c + List.length t.succ.(v)
+  done;
+  !c
+
+let iter_edges f t =
+  for v = 0 to t.n - 1 do
+    List.iter f (List.rev t.succ.(v))
+  done
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  iter_edges (fun e -> acc := f e !acc) t;
+  !acc
+
+let edges t = List.rev (fold_edges (fun e acc -> e :: acc) t [])
+
+let iter_nodes f t =
+  for v = 0 to t.n - 1 do
+    f v
+  done
+
+let reverse t =
+  let r = create ~capacity:t.n () in
+  ignore (add_nodes r t.n);
+  iter_edges (fun e -> add_edge ~weight:e.weight r e.dst e.src) t;
+  r
+
+let copy t =
+  let c = create ~capacity:(max 1 t.n) () in
+  ignore (add_nodes c t.n);
+  iter_edges (fun e -> add_edge ~weight:e.weight c e.src e.dst) t;
+  c
+
+(* Induced subgraph on the given nodes; returns the subgraph and the
+   mapping old-id -> new-id (as a Hashtbl). *)
+let induced t nodes =
+  let map = Hashtbl.create (List.length nodes) in
+  let g = create ~capacity:(max 1 (List.length nodes)) () in
+  List.iter
+    (fun v ->
+      check_node t v;
+      if not (Hashtbl.mem map v) then Hashtbl.add map v (add_node g))
+    nodes;
+  iter_edges
+    (fun e ->
+      match (Hashtbl.find_opt map e.src, Hashtbl.find_opt map e.dst) with
+      | Some s, Some d -> add_edge ~weight:e.weight g s d
+      | _ -> ())
+    t;
+  (g, map)
+
+let to_dot ?(name = "g") ?(node_label = string_of_int) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  iter_nodes
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (node_label v)))
+    t;
+  iter_edges
+    (fun e -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" e.src e.dst))
+    t;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

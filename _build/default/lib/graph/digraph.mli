@@ -1,0 +1,45 @@
+(** Growable directed graph over dense integer node ids.
+
+    The single graph representation behind DFGs, MRRGs, product graphs
+    and constraint graphs, so the algorithm modules apply uniformly.
+    Nodes are [0..n-1]; parallel edges are allowed; each edge carries an
+    integer weight (default 1). *)
+
+type edge = { src : int; dst : int; weight : int }
+type t
+
+val create : ?capacity:int -> unit -> t
+val node_count : t -> int
+
+(** Appends a node and returns its id. *)
+val add_node : t -> int
+
+(** [add_nodes g k] appends [k] nodes, returning the first new id. *)
+val add_nodes : t -> int -> int
+
+(** Raises [Invalid_argument] when an endpoint is out of range. *)
+val add_edge : ?weight:int -> t -> int -> int -> unit
+
+val succ_edges : t -> int -> edge list
+val pred_edges : t -> int -> edge list
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val edge_count : t -> int
+val iter_edges : (edge -> unit) -> t -> unit
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val edges : t -> edge list
+val iter_nodes : (int -> unit) -> t -> unit
+
+(** All edges reversed. *)
+val reverse : t -> t
+
+val copy : t -> t
+
+(** Induced subgraph on the listed nodes, with the old->new id map. *)
+val induced : t -> int list -> t * (int, int) Hashtbl.t
+
+(** Graphviz rendering; [node_label] defaults to the id. *)
+val to_dot : ?name:string -> ?node_label:(int -> string) -> t -> string

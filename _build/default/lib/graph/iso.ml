@@ -1,0 +1,77 @@
+(* Subgraph isomorphism: find an injective mapping of the pattern graph
+   into the host graph preserving directed edges, VF2-style backtracking
+   with degree pruning.
+
+   The graph-minor flavoured mappers test whether a transformed DFG
+   embeds into the time-extended CGRA directly. *)
+
+let find ?(max_steps = 1_000_000) ~compatible pattern host =
+  let np = Digraph.node_count pattern and nh = Digraph.node_count host in
+  if np > nh then None
+  else begin
+    let mapping = Array.make np (-1) in
+    let used = Array.make nh false in
+    let steps = ref 0 in
+    (* Order pattern nodes by connectivity to already-ordered nodes so the
+       search binds constrained nodes early. *)
+    let order =
+      let chosen = Array.make np false in
+      let out = ref [] in
+      for _ = 0 to np - 1 do
+        let best = ref (-1) and best_score = ref (-1) in
+        for v = 0 to np - 1 do
+          if not chosen.(v) then begin
+            let connected =
+              List.length (List.filter (fun u -> chosen.(u)) (Digraph.succ pattern v))
+              + List.length (List.filter (fun u -> chosen.(u)) (Digraph.pred pattern v))
+            in
+            let score = (connected * 1000) + Digraph.out_degree pattern v + Digraph.in_degree pattern v in
+            if score > !best_score then begin
+              best_score := score;
+              best := v
+            end
+          end
+        done;
+        chosen.(!best) <- true;
+        out := !best :: !out
+      done;
+      Array.of_list (List.rev !out)
+    in
+    let consistent v h =
+      (* every already-mapped neighbour relation must hold in the host *)
+      List.for_all
+        (fun u -> mapping.(u) < 0 || Digraph.mem_edge host h mapping.(u))
+        (Digraph.succ pattern v)
+      && List.for_all
+           (fun u -> mapping.(u) < 0 || Digraph.mem_edge host mapping.(u) h)
+           (Digraph.pred pattern v)
+    in
+    let exception Found in
+    let rec go i =
+      incr steps;
+      if !steps > max_steps then ()
+      else if i = np then raise Found
+      else begin
+        let v = order.(i) in
+        for h = 0 to nh - 1 do
+          if
+            (not used.(h))
+            && compatible v h
+            && Digraph.out_degree host h >= Digraph.out_degree pattern v
+            && Digraph.in_degree host h >= Digraph.in_degree pattern v
+            && consistent v h
+          then begin
+            mapping.(v) <- h;
+            used.(h) <- true;
+            go (i + 1);
+            used.(h) <- false;
+            mapping.(v) <- -1
+          end
+        done
+      end
+    in
+    try
+      go 0;
+      None
+    with Found -> Some (Array.copy mapping)
+  end

@@ -1,0 +1,9 @@
+(** Subgraph isomorphism (VF2-style backtracking with degree pruning):
+    an injective, edge-preserving embedding of the pattern into the
+    host.  The graph-based binding mappers embed transformed DFGs into
+    the time-extended CGRA with this. *)
+
+(** [find ~compatible pattern host] returns the node mapping, or [None]
+    when no embedding exists or the step budget ran out. *)
+val find :
+  ?max_steps:int -> compatible:(int -> int -> bool) -> Digraph.t -> Digraph.t -> int array option

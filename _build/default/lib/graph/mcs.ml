@@ -1,0 +1,42 @@
+(* Maximum common subgraph between two directed, labelled graphs,
+   computed as a maximum clique of the modular product graph.
+
+   EPIMap-style binding looks for the maximum common subgraph between
+   the (transformed) DFG and the time-extended CGRA graph: a common
+   subgraph covering every DFG node is exactly a binding in which every
+   data dependence rides a physical link. *)
+
+type pair = { a : int; b : int }
+
+(* [compatible a b] says node [a] of graph [ga] may be identified with
+   node [b] of [gb] (label compatibility). The product graph connects
+   (a1,b1)-(a2,b2) when the a-side and b-side relations agree:
+   edge a1->a2 iff edge b1->b2, and a1<>a2, b1<>b2. *)
+let product ~compatible ga gb =
+  let pairs = ref [] in
+  for a = Digraph.node_count ga - 1 downto 0 do
+    for b = Digraph.node_count gb - 1 downto 0 do
+      if compatible a b then pairs := { a; b } :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let n = Array.length pairs in
+  let cg = Clique.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = pairs.(i) and q = pairs.(j) in
+      if p.a <> q.a && p.b <> q.b then begin
+        let fwd_a = Digraph.mem_edge ga p.a q.a and fwd_b = Digraph.mem_edge gb p.b q.b in
+        let bwd_a = Digraph.mem_edge ga q.a p.a and bwd_b = Digraph.mem_edge gb q.b p.b in
+        if fwd_a = fwd_b && bwd_a = bwd_b then Clique.add_edge cg i j
+      end
+    done
+  done;
+  (cg, pairs)
+
+(* Returns the common-subgraph correspondence as (a, b) pairs and
+   whether the search completed (proved maximum). *)
+let solve ?max_steps ~compatible ga gb =
+  let cg, pairs = product ~compatible ga gb in
+  let clique, proven = Clique.maximum ?max_steps cg in
+  (List.map (fun i -> (pairs.(i).a, pairs.(i).b)) clique, proven)

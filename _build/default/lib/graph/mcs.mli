@@ -1,0 +1,17 @@
+(** Maximum common subgraph of two directed graphs via maximum clique
+    of their modular product (the EPIMap-school formulation). *)
+
+type pair = { a : int; b : int }
+
+(** Build the modular product under a node-compatibility predicate. *)
+val product : compatible:(int -> int -> bool) -> Digraph.t -> Digraph.t -> Clique.t * pair array
+
+(** [solve ~compatible ga gb] returns the correspondence as (a, b)
+    pairs plus whether the search proved maximality within the step
+    budget. *)
+val solve :
+  ?max_steps:int ->
+  compatible:(int -> int -> bool) ->
+  Digraph.t ->
+  Digraph.t ->
+  (int * int) list * bool

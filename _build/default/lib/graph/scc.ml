@@ -1,0 +1,54 @@
+(* Tarjan's strongly connected components.
+
+   RecMII computation walks the SCCs of a loop-carried DFG: only nodes
+   inside a non-trivial SCC participate in a recurrence cycle. *)
+
+let compute g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Digraph.succ g v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  !components
+
+(* Components with more than one node, or a single node with a self
+   edge: these are the recurrence circuits. *)
+let nontrivial g =
+  List.filter
+    (fun comp ->
+      match comp with
+      | [ v ] -> Digraph.mem_edge g v v
+      | _ :: _ :: _ -> true
+      | [] -> false)
+    (compute g)

@@ -1,0 +1,9 @@
+(** Tarjan's strongly connected components; RecMII computations walk
+    the SCCs of the loop-carried dependence graph. *)
+
+(** All components, each as a node list. *)
+val compute : Digraph.t -> int list list
+
+(** Components with more than one node, or a self-looping single node:
+    the recurrence circuits. *)
+val nontrivial : Digraph.t -> int list list

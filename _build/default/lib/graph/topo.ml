@@ -1,0 +1,64 @@
+(* Topological properties of DAGs: ordering, cycle detection, levels
+   and longest paths.  ASAP/ALAP scheduling of DFGs reduces to longest
+   paths here. *)
+
+(* Kahn's algorithm; returns None if the graph has a cycle. *)
+let sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Digraph.succ g v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let is_dag g = sort g <> None
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph has a cycle"
+
+(* Longest path length (in total edge weight) ending at each node,
+   sources at 0.  Fails on cyclic graphs. *)
+let longest_from_sources g =
+  let order = sort_exn g in
+  let n = Digraph.node_count g in
+  let dist = Array.make n 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (e : Digraph.edge) -> dist.(e.dst) <- max dist.(e.dst) (dist.(v) + e.weight))
+        (Digraph.succ_edges g v))
+    order;
+  dist
+
+(* Longest path length from each node to any sink. *)
+let longest_to_sinks g =
+  let order = sort_exn g in
+  let n = Digraph.node_count g in
+  let dist = Array.make n 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (e : Digraph.edge) -> dist.(v) <- max dist.(v) (dist.(e.dst) + e.weight))
+        (Digraph.succ_edges g v))
+    (List.rev order);
+  dist
+
+(* Length of the longest path in the DAG (critical path in edge weights). *)
+let critical_path g =
+  let dist = longest_from_sources g in
+  Array.fold_left max 0 dist

@@ -1,0 +1,19 @@
+(** Topological properties of DAGs; ASAP/ALAP scheduling of DFGs
+    reduces to the longest-path computations here. *)
+
+(** Kahn's algorithm; [None] when the graph has a cycle. *)
+val sort : Digraph.t -> int list option
+
+val is_dag : Digraph.t -> bool
+
+(** Raises [Invalid_argument] on cyclic input. *)
+val sort_exn : Digraph.t -> int list
+
+(** Longest weighted path ending at each node (sources at 0). *)
+val longest_from_sources : Digraph.t -> int array
+
+(** Longest weighted path from each node to any sink. *)
+val longest_to_sinks : Digraph.t -> int array
+
+(** Length of the longest path (critical path in edge weights). *)
+val critical_path : Digraph.t -> int

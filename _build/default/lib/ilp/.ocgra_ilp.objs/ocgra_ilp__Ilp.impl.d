@@ -1,0 +1,1 @@
+lib/ilp/ilp.ml: Array Float Lp Sys

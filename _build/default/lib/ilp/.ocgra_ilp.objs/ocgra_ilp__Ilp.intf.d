@@ -1,0 +1,1 @@
+lib/ilp/ilp.mli: Lp

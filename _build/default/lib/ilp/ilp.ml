@@ -1,0 +1,104 @@
+(* Mixed 0/1-integer linear programming by branch & bound on the LP
+   relaxation: most-fractional branching, depth-first with best-bound
+   pruning, node and wall-clock budgets so the exact mappers degrade
+   gracefully instead of hanging on big kernels. *)
+
+type var_kind = Continuous | Integer
+
+type problem = {
+  lp : Lp.problem;
+  kinds : var_kind array; (* length lp.n *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Feasible of { value : float; solution : float array } (* budget hit with incumbent *)
+  | Infeasible
+  | Unbounded
+  | Limit (* budget hit, no incumbent *)
+
+type stats = { mutable nodes : int; mutable lp_solves : int }
+
+let int_tol = 1e-6
+
+let is_integral x = Float.abs (x -. Float.round x) < int_tol
+
+let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) (p : problem) =
+  if Array.length p.kinds <> p.lp.n then invalid_arg "Ilp.solve: kinds length mismatch";
+  let stats = { nodes = 0; lp_solves = 0 } in
+  let deadline = Sys.time () +. time_limit in
+  let incumbent = ref None in
+  let budget_hit = ref false in
+  let better value =
+    match !incumbent with
+    | None -> true
+    | Some (best, _) -> if p.lp.maximize then value > best +. int_tol else value < best -. int_tol
+  in
+  (* Extra bound rows accumulated along the branch-and-bound path. *)
+  let rec branch extra_rows =
+    if stats.nodes >= max_nodes || Sys.time () > deadline then budget_hit := true
+    else begin
+      stats.nodes <- stats.nodes + 1;
+      stats.lp_solves <- stats.lp_solves + 1;
+      let lp = { p.lp with rows = p.lp.rows @ extra_rows } in
+      match Lp.solve lp with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded ->
+          (* With binary/integer bound rows present this means the
+             continuous part is unbounded; treat as a hard failure. *)
+          raise Exit
+      | Lp.Optimal { value; solution } ->
+          let dominated =
+            match !incumbent with
+            | None -> false
+            | Some (best, _) ->
+                if p.lp.maximize then value <= best +. int_tol else value >= best -. int_tol
+          in
+          if not dominated then begin
+            (* find most fractional integer variable *)
+            let frac_var = ref (-1) and frac_dist = ref 0.0 in
+            Array.iteri
+              (fun j kind ->
+                if kind = Integer && not (is_integral solution.(j)) then begin
+                  let f = solution.(j) -. Float.of_int (int_of_float (Float.floor solution.(j))) in
+                  let d = Float.abs (f -. 0.5) in
+                  if !frac_var < 0 || d < !frac_dist then begin
+                    frac_var := j;
+                    frac_dist := d
+                  end
+                end)
+              p.kinds;
+            if !frac_var < 0 then begin
+              (* integral: new incumbent *)
+              if better value then incumbent := Some (value, Array.copy solution)
+            end
+            else begin
+              let j = !frac_var in
+              let x = solution.(j) in
+              let fl = Float.floor x and ce = Float.ceil x in
+              let row v rel =
+                let coeffs = Array.make p.lp.n 0.0 in
+                coeffs.(j) <- 1.0;
+                (coeffs, rel, v)
+              in
+              (* explore the side closer to the LP value first *)
+              if x -. fl < ce -. x then begin
+                branch (row fl Lp.Le :: extra_rows);
+                branch (row ce Lp.Ge :: extra_rows)
+              end
+              else begin
+                branch (row ce Lp.Ge :: extra_rows);
+                branch (row fl Lp.Le :: extra_rows)
+              end
+            end
+          end
+    end
+  in
+  match branch [] with
+  | () -> (
+      match (!incumbent, !budget_hit) with
+      | Some (value, solution), false -> (Optimal { value; solution }, stats)
+      | Some (value, solution), true -> (Feasible { value; solution }, stats)
+      | None, true -> (Limit, stats)
+      | None, false -> (Infeasible, stats))
+  | exception Exit -> (Unbounded, stats)

@@ -1,0 +1,22 @@
+(** Mixed-integer programming by branch & bound on the LP relaxation:
+    most-fractional branching, depth-first with incumbent pruning, node
+    and wall-clock budgets so the exact mappers degrade gracefully. *)
+
+type var_kind = Continuous | Integer
+
+type problem = {
+  lp : Lp.problem;
+  kinds : var_kind array;  (** length [lp.n] *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Feasible of { value : float; solution : float array }
+      (** budget hit with an incumbent in hand *)
+  | Infeasible
+  | Unbounded
+  | Limit  (** budget hit, no incumbent *)
+
+type stats = { mutable nodes : int; mutable lp_solves : int }
+
+val solve : ?max_nodes:int -> ?time_limit:float -> problem -> outcome * stats

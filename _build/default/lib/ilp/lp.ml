@@ -1,0 +1,220 @@
+(* Dense two-phase primal simplex over floats.
+
+   This is the LP relaxation engine under the branch-and-bound MILP
+   solver that stands in for the commercial solvers used by the
+   ILP-based mappers in the survey.  All structural variables are
+   non-negative; upper bounds and general inequalities are rows.
+   Bland's rule is used throughout: slower than Dantzig pricing but
+   immune to cycling, which matters more here than speed because the
+   mapping models are small and highly degenerate. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  n : int; (* structural variables x_0 .. x_{n-1}, all >= 0 *)
+  maximize : bool;
+  objective : float array; (* length n *)
+  rows : (float array * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-7
+
+type tableau = {
+  m : int; (* constraint rows *)
+  cols : int; (* total columns excluding rhs *)
+  a : float array array; (* m x (cols + 1); last column = rhs *)
+  basis : int array; (* m basic column indices *)
+  n_struct : int;
+  n_artificial_start : int; (* columns >= this are artificial *)
+}
+
+let pivot t ~row ~col =
+  let a = t.a in
+  let piv = a.(row).(col) in
+  let width = t.cols + 1 in
+  let r = a.(row) in
+  for j = 0 to width - 1 do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let factor = a.(i).(col) in
+      if Float.abs factor > 0.0 then begin
+        let ri = a.(i) in
+        for j = 0 to width - 1 do
+          ri.(j) <- ri.(j) -. (factor *. r.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Maximize c.x given the tableau in canonical feasible form.
+   [allowed] masks columns that may enter the basis.
+   Returns (value, reduced objective row) or None when unbounded. *)
+let optimize t obj allowed =
+  (* reduced cost row: z_j - c_j maintained explicitly *)
+  let width = t.cols + 1 in
+  let z = Array.make width 0.0 in
+  (* z = sum over basic rows of c_basis * row - c *)
+  for j = 0 to t.cols - 1 do
+    z.(j) <- -.obj.(j)
+  done;
+  for i = 0 to t.m - 1 do
+    let cb = obj.(t.basis.(i)) in
+    if Float.abs cb > 0.0 then
+      for j = 0 to width - 1 do
+        z.(j) <- z.(j) +. (cb *. t.a.(i).(j))
+      done
+  done;
+  let rec iterate () =
+    (* Bland: entering column = smallest index with z_j < -eps *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.cols - 1 do
+         if allowed.(j) && z.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then Some z
+    else begin
+      let col = !entering in
+      (* ratio test; Bland tie-break on smallest basis column *)
+      let best_row = ref (-1) and best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.cols) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then None (* unbounded *)
+      else begin
+        let row = !best_row in
+        pivot t ~row ~col;
+        (* update z row *)
+        let factor = z.(col) in
+        if Float.abs factor > 0.0 then begin
+          let r = t.a.(row) in
+          for j = 0 to width - 1 do
+            z.(j) <- z.(j) -. (factor *. r.(j))
+          done
+        end;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let solve (p : problem) =
+  let rows = Array.of_list p.rows in
+  let m = Array.length rows in
+  (* normalize rhs >= 0 *)
+  let rows =
+    Array.map
+      (fun (coeffs, rel, b) ->
+        if Array.length coeffs <> p.n then invalid_arg "Lp.solve: row width mismatch";
+        if b < 0.0 then
+          ( Array.map (fun c -> -.c) coeffs,
+            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (coeffs, rel, b))
+      rows
+  in
+  let n_slack = Array.fold_left (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc) 0 rows in
+  let n_art =
+    Array.fold_left (fun acc (_, rel, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc) 0 rows
+  in
+  let cols = p.n + n_slack + n_art in
+  let a = Array.make_matrix m (cols + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let slack_idx = ref p.n and art_idx = ref (p.n + n_slack) in
+  Array.iteri
+    (fun i (coeffs, rel, b) ->
+      Array.blit coeffs 0 a.(i) 0 p.n;
+      a.(i).(cols) <- b;
+      (match rel with
+      | Le ->
+          a.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          a.(i).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Eq ->
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx))
+    rows;
+  let t = { m; cols; a; basis; n_struct = p.n; n_artificial_start = p.n + n_slack } in
+  let allowed = Array.make cols true in
+  (* Phase 1: maximize -(sum of artificials) *)
+  if n_art > 0 then begin
+    let obj1 = Array.make cols 0.0 in
+    for j = t.n_artificial_start to cols - 1 do
+      obj1.(j) <- -1.0
+    done;
+    match optimize t obj1 allowed with
+    | None -> invalid_arg "Lp.solve: phase 1 unbounded (impossible)"
+    | Some _ ->
+        let infeas = ref 0.0 in
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= t.n_artificial_start then infeas := !infeas +. t.a.(i).(cols)
+        done;
+        if !infeas > 1e-6 then raise Exit
+  end;
+  (* forbid artificials from re-entering *)
+  for j = t.n_artificial_start to cols - 1 do
+    allowed.(j) <- false
+  done;
+  (* drive remaining basic artificials out where possible *)
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= t.n_artificial_start then begin
+      let found = ref (-1) in
+      (try
+         for j = 0 to t.n_artificial_start - 1 do
+           if Float.abs t.a.(i).(j) > eps then begin
+             found := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !found >= 0 then pivot t ~row:i ~col:!found
+      (* else: redundant row with zero rhs; harmless *)
+    end
+  done;
+  (* Phase 2 *)
+  let obj2 = Array.make cols 0.0 in
+  for j = 0 to p.n - 1 do
+    obj2.(j) <- (if p.maximize then p.objective.(j) else -.p.objective.(j))
+  done;
+  match optimize t obj2 allowed with
+  | None -> Unbounded
+  | Some _ ->
+      let solution = Array.make p.n 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < p.n then solution.(t.basis.(i)) <- t.a.(i).(cols)
+      done;
+      let value = ref 0.0 in
+      for j = 0 to p.n - 1 do
+        value := !value +. (p.objective.(j) *. solution.(j))
+      done;
+      Optimal { value = !value; solution }
+
+let solve p = try solve p with Exit -> Infeasible

@@ -1,0 +1,19 @@
+(** Dense two-phase primal simplex with Bland's rule (cycling-immune):
+    the LP relaxation engine under the branch & bound MILP solver.
+    All structural variables are non-negative; bounds are rows. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  n : int;  (** structural variables x_0..x_{n-1}, all >= 0 *)
+  maximize : bool;
+  objective : float array;  (** length [n] *)
+  rows : (float array * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome

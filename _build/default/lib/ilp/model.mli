@@ -1,0 +1,34 @@
+(** Modeling layer over the LP/MILP solvers: named variables, sparse
+    linear terms, upper bounds; the ILP mappers write their
+    formulations against this. *)
+
+type var = int
+type t
+
+val create : ?maximize:bool -> unit -> t
+
+(** Fresh non-negative variable ([ub] adds a bound row). *)
+val add_var : ?kind:Ilp.var_kind -> ?ub:float -> t -> string -> var
+
+(** Integer in \[0, 1\]. *)
+val binary : t -> string -> var
+
+val integer : ?ub:float -> t -> string -> var
+
+(** [add_constraint t terms rel rhs] posts [sum c_i x_i rel rhs]. *)
+val add_constraint : t -> (float * var) list -> Lp.relation -> float -> unit
+
+val set_objective : t -> (float * var) list -> unit
+val var_name : t -> var -> string
+
+type outcome =
+  | Optimal of float
+  | Feasible of float
+  | Infeasible
+  | Unbounded
+  | Limit
+
+(** Returns the outcome, the rounded integer solution when one exists,
+    and the branch & bound statistics. *)
+val solve :
+  ?max_nodes:int -> ?time_limit:float -> t -> outcome * int array option * Ilp.stats

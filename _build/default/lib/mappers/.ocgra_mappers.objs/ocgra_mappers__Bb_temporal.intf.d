@@ -1,0 +1,1 @@
+lib/mappers/bb_temporal.mli: Ocgra_core Ocgra_util

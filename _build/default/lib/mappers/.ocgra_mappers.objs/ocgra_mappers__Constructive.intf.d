@@ -1,0 +1,1 @@
+lib/mappers/constructive.mli: Ocgra_core Ocgra_dfg Ocgra_util Place_route

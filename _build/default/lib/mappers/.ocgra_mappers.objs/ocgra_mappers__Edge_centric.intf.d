@@ -1,0 +1,1 @@
+lib/mappers/edge_centric.mli: Ocgra_core Ocgra_util

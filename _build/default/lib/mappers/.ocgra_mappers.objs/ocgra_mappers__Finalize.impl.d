@@ -1,0 +1,1 @@
+lib/mappers/finalize.ml: Array Hashtbl List Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Pathfinder Place_route Problem

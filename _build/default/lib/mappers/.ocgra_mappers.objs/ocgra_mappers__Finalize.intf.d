@@ -1,0 +1,1 @@
+lib/mappers/finalize.mli: Ocgra_core

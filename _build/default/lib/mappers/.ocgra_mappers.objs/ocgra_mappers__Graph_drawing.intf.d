@@ -1,0 +1,1 @@
+lib/mappers/graph_drawing.mli: Ocgra_core Ocgra_util

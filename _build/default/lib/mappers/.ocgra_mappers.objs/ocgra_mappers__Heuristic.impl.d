@@ -1,0 +1,1 @@
+lib/mappers/heuristic.ml: Constructive Mapper Ocgra_core Problem Taxonomy

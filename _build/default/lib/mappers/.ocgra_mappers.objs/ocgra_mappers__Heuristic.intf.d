@@ -1,0 +1,1 @@
+lib/mappers/heuristic.mli: Ocgra_core

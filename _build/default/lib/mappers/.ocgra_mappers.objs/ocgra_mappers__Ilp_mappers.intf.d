@@ -1,0 +1,1 @@
+lib/mappers/ilp_mappers.mli: Ocgra_core Ocgra_util

@@ -1,0 +1,1 @@
+lib/mappers/iso_binding.mli: Ocgra_core Ocgra_util

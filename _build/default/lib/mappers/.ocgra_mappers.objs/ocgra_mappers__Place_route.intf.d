@@ -1,0 +1,1 @@
+lib/mappers/place_route.mli: Ocgra_core Ocgra_dfg

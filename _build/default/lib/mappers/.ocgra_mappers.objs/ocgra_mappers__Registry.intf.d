@@ -1,0 +1,1 @@
+lib/mappers/registry.mli: Ocgra_core

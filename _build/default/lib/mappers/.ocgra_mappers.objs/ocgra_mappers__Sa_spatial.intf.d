@@ -1,0 +1,1 @@
+lib/mappers/sa_spatial.mli: Ocgra_core Ocgra_meta Ocgra_util

@@ -1,0 +1,1 @@
+lib/mappers/sched.ml: Array Constructive Dfg Fun Hashtbl List Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_util Op Option Problem

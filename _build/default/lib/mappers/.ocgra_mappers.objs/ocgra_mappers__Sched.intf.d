@@ -1,0 +1,1 @@
+lib/mappers/sched.mli: Ocgra_core Ocgra_util

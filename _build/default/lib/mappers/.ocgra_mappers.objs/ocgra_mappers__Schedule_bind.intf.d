@@ -1,0 +1,1 @@
+lib/mappers/schedule_bind.mli: Ocgra_core Ocgra_util

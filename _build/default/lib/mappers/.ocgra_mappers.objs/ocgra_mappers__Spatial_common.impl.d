@@ -1,0 +1,1 @@
+lib/mappers/spatial_common.ml: Array Dfg Fun List Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Place_route Problem

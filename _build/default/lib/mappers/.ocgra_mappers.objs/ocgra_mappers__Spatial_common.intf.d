@@ -1,0 +1,1 @@
+lib/mappers/spatial_common.mli: Ocgra_core Ocgra_util

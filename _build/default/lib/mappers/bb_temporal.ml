@@ -1,0 +1,108 @@
+(* Branch-and-bound temporal mapping ([42] dnestmap uses B&B; [24] Das
+   et al. prune partial solutions stochastically to keep the frontier
+   tractable).
+
+   Depth-first search over nodes in priority order; each node branches
+   over its feasible (PE, cycle) candidates, placed and routed
+   immediately so infeasible branches die at the first unroutable
+   dependence.  Two pruning knobs: [beam] keeps only that many
+   candidates per node (stochastically sampled, as in [24]), and
+   [max_nodes] bounds the search tree. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Rng = Ocgra_util.Rng
+
+exception Found of Mapping.t
+
+let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes =
+  let state = Place_route.create p ~ii in
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let order = Array.of_list (Constructive.topo_order_by_height rng p.dfg) in
+  let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  let expanded = ref 0 in
+  let complete = ref true in
+  let rec go i =
+    if i = Array.length order then begin
+      match Place_route.to_mapping state with Some m -> raise (Found m) | None -> ()
+    end
+    else begin
+      let v = order.(i) in
+      let op = Dfg.op p.dfg v in
+      let candidates =
+        List.concat_map
+          (fun pe ->
+            if Ocgra_arch.Cgra.supports p.cgra pe op then begin
+              let est, lst = Place_route.time_window state hop_table v pe in
+              let upper = min lst (est + ii + 2) in
+              if est > upper then []
+              else List.init (upper - est + 1) (fun k -> (est + k, pe))
+            end
+            else [])
+          (List.init npe Fun.id)
+      in
+      let candidates = List.sort compare candidates in
+      (* stochastic pruning: keep at most [beam] candidates *)
+      let candidates =
+        if List.length candidates <= beam then candidates
+        else begin
+          complete := false;
+          let arr = Array.of_list candidates in
+          (* always keep the earliest few, sample the rest *)
+          let keep_head = max 1 (beam / 2) in
+          let head = Array.to_list (Array.sub arr 0 keep_head) in
+          let tail = Array.sub arr keep_head (Array.length arr - keep_head) in
+          Rng.shuffle_in_place rng tail;
+          head @ Array.to_list (Array.sub tail 0 (beam - keep_head))
+        end
+      in
+      List.iter
+        (fun (t, pe) ->
+          if !expanded < max_nodes then begin
+            incr expanded;
+            if Place_route.place state v ~pe ~time:t then begin
+              go (i + 1);
+              Place_route.unplace state v
+            end
+          end
+          else complete := false)
+        candidates
+    end
+  in
+  match go 0 with
+  | () -> (None, !expanded, !complete)
+  | exception Found m -> (Some m, !expanded, !complete)
+
+let map ?(beam = 10) ?(max_nodes = 40_000) (p : Problem.t) rng =
+  match p.kind with
+  | Problem.Spatial ->
+      let m, expanded, _ = attempt p rng ~ii:1 ~beam ~max_nodes in
+      (m, expanded, false)
+  | Problem.Temporal { max_ii; _ } ->
+      let mii = Mii.mii p.dfg p.cgra in
+      let total = ref 0 in
+      let rec over_ii ii =
+        if ii > max_ii then (None, false)
+        else begin
+          let m, expanded, complete = attempt p rng ~ii ~beam ~max_nodes in
+          total := !total + expanded;
+          match m with
+          | Some m -> (Some m, ii = mii && complete)
+          | None -> over_ii (ii + 1)
+        end
+      in
+      let m, proven = over_ii (max 1 mii) in
+      (m, !total, proven)
+
+let mapper =
+  Mapper.make ~name:"branch-and-bound" ~citation:"Karunaratne et al. [42]; Das et al. [24]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_bb
+    (fun p rng ->
+      let m, attempts, proven = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "DFS over (PE,cycle) with immediate routing and stochastic pruning";
+      })

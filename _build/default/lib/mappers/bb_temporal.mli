@@ -1,0 +1,23 @@
+(** Branch-and-bound temporal mapping ([42]; stochastic pruning per
+    [24]): depth-first over (PE, cycle) candidates with immediate
+    routing, a per-node beam, and a global node budget. *)
+
+(** One bounded search at a fixed II; returns (mapping, nodes expanded,
+    search was exhaustive). *)
+val attempt :
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  ii:int ->
+  beam:int ->
+  max_nodes:int ->
+  Ocgra_core.Mapping.t option * int * bool
+
+(** (mapping, total nodes expanded, proven optimal at MII). *)
+val map :
+  ?beam:int ->
+  ?max_nodes:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,15 @@
+(** Constraint-programming temporal mapping ([43]): places and times as
+    finite-domain variables, FU exclusivity via all-different over
+    channelled (PE, slot) variables, dependence timing against
+    hop-distance tables; routing is lazy (strict route + randomised
+    re-solve on failure). *)
+
+(** (mapping, attempts, proven optimal at MII). *)
+val map :
+  ?max_failures:int ->
+  ?routing_retries:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,15 @@
+(** Edge-centric modulo scheduling (EMS, Park et al. [37]): the router
+    drives placement — each consumer lands on the cheapest (PE, cycle)
+    reachable from its primary producer's routing cost field. *)
+
+val attempt :
+  Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> ii:int -> Ocgra_core.Mapping.t option
+
+(** (mapping, attempts, proven optimal at MII). *)
+val map :
+  ?restarts:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,39 @@
+(* GenMap-style spatial mapping by genetic algorithm ([19] Kojima et
+   al.): placement genomes evolve under collision + wirelength fitness,
+   elitist generational replacement, then strict extraction. *)
+
+open Ocgra_core
+
+let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) (p : Problem.t) rng =
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let attempts = ref 0 in
+  let rec go k =
+    if k <= 0 then None
+    else begin
+      incr attempts;
+      let best, _fit, _stats =
+        Ocgra_meta.Ga.run ~config rng
+          ~init:(fun rng -> Spatial_common.random_genome p rng)
+          ~crossover:Spatial_common.crossover
+          ~mutate:(fun rng g -> Spatial_common.mutate p rng g)
+          ~fitness:(fun g -> -.float_of_int (Spatial_common.genome_cost p hop_table g))
+      in
+      match Spatial_common.extract p best with
+      | Some m -> Some m
+      | None -> go (k - 1)
+    end
+  in
+  (go extractions, !attempts)
+
+let mapper =
+  Mapper.make ~name:"genmap-ga" ~citation:"Kojima et al. GenMap [19]"
+    ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_population "GA")
+    (fun p rng ->
+      let m, attempts = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = false;
+        attempts;
+        elapsed_s = 0.0;
+        note = "evolved placement + strict pipeline routing";
+      })

@@ -1,0 +1,11 @@
+(** GenMap-style spatial mapping by genetic algorithm ([19]). *)
+
+(** (mapping, attempts). *)
+val map :
+  ?config:Ocgra_meta.Ga.config ->
+  ?extractions:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int
+
+val mapper : Ocgra_core.Mapper.t

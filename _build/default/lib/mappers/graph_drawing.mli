@@ -1,0 +1,17 @@
+(** Graph-drawing-based spatial mapping (Yoon et al. [23]): spring
+    layout of the DFG in the plane, nearest-free-cell legalisation,
+    then pipeline stages and strict routing. *)
+
+(** Force-directed coordinates (x, y per node). *)
+val layout :
+  Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> iterations:int -> float array * float array
+
+(** Snap to the nearest free capable cells; [None] when a node finds no
+    cell. *)
+val snap : Ocgra_core.Problem.t -> float array * float array -> int array option
+
+(** (mapping, attempts). *)
+val map :
+  ?restarts:int -> Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,40 @@
+(* The named heuristic mappers built on the constructive engine:
+
+   - [modulo_mapper]: iterative modulo scheduling with integrated
+     greedy placement and routing (temporal x heuristics cell; the
+     lineage of [12], [36], [61] and the deterministic core of DRESC).
+   - [greedy_spatial_mapper]: the same engine pinned at II = 1
+     (spatial x heuristics; straight-forward mapping).  *)
+
+open Ocgra_core
+
+let modulo_mapper =
+  Mapper.make ~name:"modulo-greedy"
+    ~citation:"Bondalapati & Prasanna [12]; Mei et al. [61]; Zhao et al. [36]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
+    (fun p rng ->
+      match p.kind with
+      | Problem.Spatial ->
+          Mapper.no_mapping ~note:"temporal mapper on spatial problem" ~attempts:0 ~elapsed_s:0.0 ()
+      | Problem.Temporal _ ->
+          let m, attempts, proven = Constructive.map ~restarts:16 p rng in
+          {
+            Mapper.mapping = m;
+            proven_optimal = proven && m <> None;
+            attempts;
+            elapsed_s = 0.0;
+            note = "iterative modulo scheduling + greedy place-and-route";
+          })
+
+let greedy_spatial_mapper =
+  Mapper.make ~name:"greedy-spatial" ~citation:"Yoon et al. [23] (baseline); ChordMap [31]"
+    ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
+    (fun p rng ->
+      let m, attempts, _ = Constructive.map ~restarts:24 p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = false;
+        attempts;
+        elapsed_s = 0.0;
+        note = "topological greedy placement + strict routing at II = 1";
+      })

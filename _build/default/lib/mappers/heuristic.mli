@@ -1,0 +1,8 @@
+(** The named heuristic mappers built on the constructive engine. *)
+
+(** Temporal x heuristics: iterative modulo scheduling with integrated
+    greedy placement and routing ([12], [36], [61] lineage). *)
+val modulo_mapper : Ocgra_core.Mapper.t
+
+(** Spatial x heuristics: the same engine pinned at II = 1. *)
+val greedy_spatial_mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,322 @@
+(* ILP-based mappers, solved by the in-tree simplex + branch & bound.
+
+   Three formulations matching the three ILP cells of Table I:
+
+   - [spatial]: architecture-agnostic spatial binding in the spirit of
+     Chin & Anderson [34]: assignment binaries w[v][p] with pairwise
+     distance caps on dependent operations; pipeline stages and routes
+     are then derived by the strict router (lazy routing).
+   - [temporal]: joint binding+scheduling in the spirit of [41]:
+     time-indexed x[v][p][t] with FU-slot capacity rows and
+     nearest-neighbour placement of dependent ops, as the early optimal
+     formulations assumed; lazy strict routing on top.
+   - [schedule]: scheduling-only in the spirit of [15], [53]: the
+     binding comes from a heuristic; the ILP re-times all operations
+     (time-indexed, modulo resource rows), then routes strictly. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Model = Ocgra_ilp.Model
+module Lp = Ocgra_ilp.Lp
+module Rng = Ocgra_util.Rng
+
+let capable (p : Problem.t) v =
+  let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  List.filter (fun pe -> Ocgra_arch.Cgra.supports p.cgra pe (Dfg.op p.dfg v)) (List.init npe Fun.id)
+
+(* ---------- spatial ---------- *)
+
+let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter =
+  let n = Dfg.node_count p.dfg in
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let m = Model.create ~maximize:false () in
+  let w = Array.init n (fun v -> List.map (fun pe -> (pe, Model.binary m (Printf.sprintf "w_%d_%d" v pe))) (capable p v)) in
+  (* each op exactly one PE *)
+  Array.iter (fun ws -> Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) ws) Lp.Eq 1.0) w;
+  (* each PE at most one op *)
+  let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  for pe = 0 to npe - 1 do
+    let users =
+      Array.to_list w |> List.concat_map (fun ws -> List.filter (fun (q, _) -> q = pe) ws)
+    in
+    if List.length users > 1 then
+      Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) users) Lp.Le 1.0
+  done;
+  (* dependent ops must sit within the distance cap *)
+  List.iter
+    (fun (e : Dfg.edge) ->
+      if e.src <> e.dst then
+        List.iter
+          (fun (pu, xu) ->
+            List.iter
+              (fun (pv, xv) ->
+                if hop_table.(pu).(pv) > distance_cap then
+                  Model.add_constraint m [ (1.0, xu); (1.0, xv) ] Lp.Le 1.0)
+              w.(e.dst))
+          w.(e.src))
+    (Dfg.edges p.dfg);
+  (* random objective jitter to diversify lazy-routing retries *)
+  let obj =
+    Array.to_list w
+    |> List.concat_map (fun ws ->
+           List.map (fun (_, x) -> (float_of_int (Rng.int rng jitter) /. 100.0, x)) ws)
+  in
+  Model.set_objective m obj;
+  match Model.solve ~max_nodes:500 ~time_limit:1.5 m with
+  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+      let genome = Array.make n (-1) in
+      Array.iteri
+        (fun v ws -> List.iter (fun (pe, x) -> if values.(x) = 1 then genome.(v) <- pe) ws)
+        w;
+      if Array.for_all (fun pe -> pe >= 0) genome then Some genome else None
+  | _ -> None
+
+let spatial_map ?(retries = 3) (p : Problem.t) rng =
+  let attempts = ref 0 in
+  let rec caps cap =
+    if cap > 3 then None
+    else begin
+      let rec go k =
+        if k <= 0 then None
+        else begin
+          incr attempts;
+          match spatial_solve p rng ~distance_cap:cap ~jitter:(if k = retries then 1 else 50) with
+          | None -> None (* infeasible at this cap: escalate *)
+          | Some genome -> (
+              match Spatial_common.extract p genome with
+              | Some m -> Some m
+              | None -> go (k - 1))
+        end
+      in
+      match go retries with Some m -> Some m | None -> caps (cap + 1)
+    end
+  in
+  (caps 1, !attempts)
+
+let spatial =
+  Mapper.make ~name:"ilp-spatial" ~citation:"Chin & Anderson [34]; Yoon et al. [23]; Nowatzki et al. [35]"
+    ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Exact_ilp
+    (fun p rng ->
+      let m, attempts = spatial_map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = false;
+        attempts;
+        elapsed_s = 0.0;
+        note = "assignment ILP with distance caps, lazy routing";
+      })
+
+(* ---------- joint temporal (small arrays) ---------- *)
+
+let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter =
+  let dfg = p.dfg in
+  let n = Dfg.node_count dfg in
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let asap = Dfg.asap dfg in
+  let m = Model.create ~maximize:false () in
+  (* x[v][(pe,t)] *)
+  let cands =
+    Array.init n (fun v ->
+        List.concat_map
+          (fun pe ->
+            List.init win (fun k ->
+                let t = asap.(v) + k in
+                (pe, t, Model.binary m (Printf.sprintf "x_%d_%d_%d" v pe t))))
+          (capable p v))
+  in
+  Array.iter
+    (fun cs -> Model.add_constraint m (List.map (fun (_, _, x) -> (1.0, x)) cs) Lp.Eq 1.0)
+    cands;
+  (* FU slot capacity *)
+  let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  for pe = 0 to npe - 1 do
+    for slot = 0 to ii - 1 do
+      let users =
+        Array.to_list cands
+        |> List.concat_map (List.filter (fun (q, t, _) -> q = pe && t mod ii = slot))
+      in
+      if List.length users > 1 then
+        Model.add_constraint m (List.map (fun (_, _, x) -> (1.0, x)) users) Lp.Le 1.0
+    done
+  done;
+  (* placement aggregates for adjacency *)
+  let w =
+    Array.init n (fun v ->
+        List.map
+          (fun pe ->
+            let wx = Model.binary m (Printf.sprintf "wagg_%d_%d" v pe) in
+            let terms = List.filter_map (fun (q, _, x) -> if q = pe then Some (1.0, x) else None) cands.(v) in
+            Model.add_constraint m ((-1.0, wx) :: terms) Lp.Eq 0.0;
+            (pe, wx))
+          (capable p v))
+  in
+  (* dependent ops nearest-neighbour; timing via time aggregates *)
+  let time_of =
+    Array.init n (fun v ->
+        List.map (fun (_, t, x) -> (float_of_int t, x)) cands.(v))
+  in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg e.src) in
+      if e.src <> e.dst then begin
+        List.iter
+          (fun (pu, xu) ->
+            List.iter
+              (fun (pv, xv) ->
+                if hop_table.(pu).(pv) > 1 then
+                  Model.add_constraint m [ (1.0, xu); (1.0, xv) ] Lp.Le 1.0)
+              w.(e.dst))
+          w.(e.src)
+      end;
+      (* T_v + dist*ii - T_u - lat >= 0 *)
+      Model.add_constraint m
+        (time_of.(e.dst) @ List.map (fun (c, x) -> (-.c, x)) time_of.(e.src))
+        Lp.Ge
+        (float_of_int (lat - (e.dist * ii))))
+    (Dfg.edges dfg);
+  (* objective: compact schedule + jitter *)
+  let obj =
+    Array.to_list time_of |> List.concat
+    |> List.map (fun (c, x) -> (c +. (float_of_int (Rng.int rng jitter) /. 100.0), x))
+  in
+  Model.set_objective m obj;
+  match Model.solve ~max_nodes:600 ~time_limit:2.0 m with
+  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+      let binding = Array.make n (-1, -1) in
+      Array.iteri
+        (fun v cs -> List.iter (fun (pe, t, x) -> if values.(x) = 1 then binding.(v) <- (pe, t)) cs)
+        cands;
+      if Array.for_all (fun (pe, _) -> pe >= 0) binding then Some binding else None
+  | _ -> None
+
+let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) (p : Problem.t) rng =
+  match p.kind with
+  | Problem.Spatial -> (None, 0, false)
+  | Problem.Temporal { max_ii; _ } ->
+      let mii = Mii.mii p.dfg p.cgra in
+      let attempts = ref 0 in
+      let t_start = Sys.time () in
+      let rec over_ii ii =
+        if ii > max_ii || Sys.time () -. t_start > deadline_s then (None, false)
+        else begin
+          let win = ii + win_slack in
+          let rec go k =
+            if k <= 0 then None
+            else begin
+              incr attempts;
+              match temporal_solve p rng ~ii ~win ~jitter:(if k = retries then 1 else 80) with
+              | None -> None
+              | Some binding -> (
+                  match Finalize.of_binding p ~ii binding with
+                  | Some m -> Some m
+                  | None -> go (k - 1))
+            end
+          in
+          match go retries with Some m -> (Some m, ii = mii) | None -> over_ii (ii + 1)
+        end
+      in
+      let m, proven = over_ii (max 1 mii) in
+      (m, !attempts, proven)
+
+let temporal =
+  Mapper.make ~name:"ilp-temporal" ~citation:"Brenner et al. [41]; Guo et al. [15]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_ilp
+    (fun p rng ->
+      let m, attempts, proven = temporal_map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "time-indexed ILP, nearest-neighbour placement, lazy routing";
+      })
+
+(* ---------- scheduling-only ---------- *)
+
+(* Re-time a fixed binding with a time-indexed ILP, then route. *)
+let schedule_solve (p : Problem.t) ~ii ~win (pes : int array) =
+  let dfg = p.dfg in
+  let n = Dfg.node_count dfg in
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let asap = Dfg.asap dfg in
+  let m = Model.create ~maximize:false () in
+  let cands =
+    Array.init n (fun v ->
+        List.init win (fun k ->
+            let t = asap.(v) + k in
+            (t, Model.binary m (Printf.sprintf "s_%d_%d" v t))))
+  in
+  Array.iter (fun cs -> Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) cs) Lp.Eq 1.0) cands;
+  (* FU slot capacity per (pe, slot) among nodes sharing the PE *)
+  let groups = Hashtbl.create 16 in
+  Array.iteri
+    (fun v pe ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups pe) in
+      Hashtbl.replace groups pe (v :: cur))
+    pes;
+  Hashtbl.iter
+    (fun _pe vs ->
+      if List.length vs > 1 then
+        for slot = 0 to ii - 1 do
+          let users =
+            List.concat_map (fun v -> List.filter (fun (t, _) -> t mod ii = slot) cands.(v)) vs
+          in
+          if List.length users > 1 then
+            Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) users) Lp.Le 1.0
+        done)
+    groups;
+  (* timing with the true hop distances of the fixed binding *)
+  List.iter
+    (fun (e : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg e.src) in
+      let needed = max 0 (hop_table.(pes.(e.src)).(pes.(e.dst)) - 1) in
+      let tu = List.map (fun (t, x) -> (float_of_int t, x)) cands.(e.src) in
+      let tv = List.map (fun (t, x) -> (float_of_int t, x)) cands.(e.dst) in
+      Model.add_constraint m
+        (tv @ List.map (fun (c, x) -> (-.c, x)) tu)
+        Lp.Ge
+        (float_of_int (lat + needed - (e.dist * ii))))
+    (Dfg.edges dfg);
+  Model.set_objective m (Array.to_list cands |> List.concat |> List.map (fun (t, x) -> (float_of_int t, x)));
+  match Model.solve ~max_nodes:800 ~time_limit:2.0 m with
+  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+      let times = Array.make n (-1) in
+      Array.iteri (fun v cs -> List.iter (fun (t, x) -> if values.(x) = 1 then times.(v) <- t) cs) cands;
+      if Array.for_all (fun t -> t >= 0) times then Some times else None
+  | _ -> None
+
+let schedule_map (p : Problem.t) rng =
+  match p.kind with
+  | Problem.Spatial -> (None, 0)
+  | Problem.Temporal _ ->
+      (* binding skeleton from the constructive heuristic *)
+      let attempts = ref 0 in
+      (match Constructive.map ~restarts:8 p rng with
+      | None, a, _ ->
+          attempts := a;
+          (None, !attempts)
+      | Some base, a, _ ->
+          attempts := a;
+          let ii = base.Mapping.ii in
+          let pes = Array.map fst base.Mapping.binding in
+          incr attempts;
+          (match schedule_solve p ~ii ~win:(ii + 4) pes with
+          | None -> (Some base, !attempts) (* keep the heuristic schedule *)
+          | Some times ->
+              let binding = Array.mapi (fun v t -> (pes.(v), t)) times in
+              (match Finalize.of_binding p ~ii binding with
+              | Some m -> (Some m, !attempts)
+              | None -> (Some base, !attempts))))
+
+let schedule =
+  Mapper.make ~name:"ilp-schedule" ~citation:"Guo et al. [15]; Mu et al. [53]"
+    ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Exact_ilp
+    (fun p rng ->
+      let m, attempts = schedule_map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = false;
+        attempts;
+        elapsed_s = 0.0;
+        note = "heuristic binding + time-indexed ILP re-scheduling";
+      })

@@ -1,0 +1,32 @@
+(** ILP-based mappers on the in-tree simplex + branch & bound, matching
+    the three ILP cells of Table I.  All three restrict the formulation
+    (distance caps / nearest-neighbour placement) and rely on lazy
+    strict routing; see DESIGN.md §4b. *)
+
+(** Spatial binding ILP ([34], [23], [35]): assignment binaries with
+    pairwise distance caps, escalating the cap on infeasibility. *)
+val spatial : Ocgra_core.Mapper.t
+
+(** Joint time-indexed binding+scheduling ILP ([41], [15]); intended
+    for small arrays and kernels. *)
+val temporal : Ocgra_core.Mapper.t
+
+(** Scheduling-only ILP ([15], [53]): re-time a heuristic binding. *)
+val schedule : Ocgra_core.Mapper.t
+
+(** The underlying map functions, exposed for budget-controlled use by
+    the bench. *)
+
+val spatial_map :
+  ?retries:int -> Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int
+
+val temporal_map :
+  ?retries:int ->
+  ?win_slack:int ->
+  ?deadline_s:float ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val schedule_map :
+  Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int

@@ -1,0 +1,132 @@
+(* Graph-based binding via subgraph isomorphism on the modulo
+   time-extended CGRA (the EPIMap [28] / Peyret et al. [47] / graph
+   minor [27] school: transform the DFG until it embeds in the
+   time-space graph).
+
+   The schedule comes from modulo list scheduling; every dependence is
+   then materialised as a chain of Route nodes so each pattern edge
+   spans exactly one cycle, and the resulting pattern is matched into
+   the modulo TEC graph ((PE, slot) nodes, one-cycle reachability
+   edges, self-edges included) with VF2-style search.  Injectivity on
+   (PE, slot) is exactly FU exclusivity. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Rng = Ocgra_util.Rng
+
+type pattern_node = P_op of int | P_route of int * int (* edge index, hop number *)
+
+let bind (p : Problem.t) ~ii times =
+  let dfg = p.dfg and cgra = p.cgra in
+  let n = Dfg.node_count dfg in
+  let npe = Ocgra_arch.Cgra.pe_count cgra in
+  let edges = Array.of_list (Dfg.edges dfg) in
+  (* pattern graph: ops + route chains, every node with a fixed time *)
+  let pat = Ocgra_graph.Digraph.create () in
+  let pat_nodes = ref [] in
+  let pat_time = ref [] in
+  let add_pat node time =
+    let id = Ocgra_graph.Digraph.add_node pat in
+    pat_nodes := (id, node) :: !pat_nodes;
+    pat_time := (id, time) :: !pat_time;
+    id
+  in
+  let op_id = Array.init n (fun v -> add_pat (P_op v) times.(v)) in
+  let route_chains = Array.make (Array.length edges) [] in
+  let feasible = ref true in
+  Array.iteri
+    (fun e (edge : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg edge.src) in
+      let k = times.(edge.dst) + (edge.dist * ii) - times.(edge.src) - lat in
+      if k < 0 then feasible := false
+      else begin
+        let prev = ref op_id.(edge.src) in
+        let chain = ref [] in
+        for i = 1 to k do
+          let t = times.(edge.src) + lat + i - 1 in
+          let r = add_pat (P_route (e, i)) t in
+          chain := (r, t) :: !chain;
+          Ocgra_graph.Digraph.add_edge pat !prev r;
+          prev := r
+        done;
+        route_chains.(e) <- List.rev !chain;
+        Ocgra_graph.Digraph.add_edge pat !prev op_id.(edge.dst)
+      end)
+    edges;
+  if not !feasible then None
+  else begin
+    let times_of = Hashtbl.create 32 in
+    List.iter (fun (id, t) -> Hashtbl.replace times_of id t) !pat_time;
+    let kind_of = Hashtbl.create 32 in
+    List.iter (fun (id, nd) -> Hashtbl.replace kind_of id nd) !pat_nodes;
+    (* host: modulo TEC on (pe, slot) *)
+    let host = Ocgra_graph.Digraph.create () in
+    ignore (Ocgra_graph.Digraph.add_nodes host (npe * ii));
+    for pe = 0 to npe - 1 do
+      for s = 0 to ii - 1 do
+        List.iter
+          (fun q -> Ocgra_graph.Digraph.add_edge host ((pe * ii) + s) ((q * ii) + ((s + 1) mod ii)))
+          (Ocgra_arch.Cgra.reachable_in_one cgra pe)
+      done
+    done;
+    let compatible pid hid =
+      let pe = hid / ii and slot = hid mod ii in
+      let t = Hashtbl.find times_of pid in
+      t mod ii = slot
+      &&
+      match Hashtbl.find kind_of pid with
+      | P_op v -> Ocgra_arch.Cgra.supports cgra pe (Dfg.op dfg v)
+      | P_route _ -> true
+    in
+    match Ocgra_graph.Iso.find ~max_steps:400_000 ~compatible pat host with
+    | None -> None
+    | Some mapping ->
+        let binding = Array.init n (fun v -> (mapping.(op_id.(v)) / ii, times.(v))) in
+        let routes =
+          Array.mapi
+            (fun e _ ->
+              List.map
+                (fun (rid, t) -> Mapping.Hop { pe = mapping.(rid) / ii; time = t })
+                route_chains.(e))
+            edges
+        in
+        Some { Mapping.ii; binding; routes }
+  end
+
+let map (p : Problem.t) rng =
+  match p.kind with
+  | Problem.Spatial -> (None, 0, false)
+  | Problem.Temporal { max_ii; _ } ->
+      let mii = Mii.mii p.dfg p.cgra in
+      let attempts = ref 0 in
+      let rec over_ii ii =
+        if ii > max_ii then (None, false)
+        else begin
+          let rec go r =
+            if r >= 4 then None
+            else begin
+              incr attempts;
+              match Sched.modulo_list_schedule p rng ~ii with
+              | None -> None
+              | Some times -> (
+                  match bind p ~ii times with Some m -> Some m | None -> go (r + 1))
+            end
+          in
+          match go 0 with Some m -> (Some m, ii = mii) | None -> over_ii (ii + 1)
+        end
+      in
+      let m, proven = over_ii (max 1 mii) in
+      (m, !attempts, proven)
+
+let mapper =
+  Mapper.make ~name:"iso-binding" ~citation:"Hamzeh et al. EPIMap [28]; Chen & Mitra [27]; Peyret et al. [47]"
+    ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
+    (fun p rng ->
+      let m, attempts, proven = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "route-node insertion + subgraph isomorphism into the modulo TEC";
+      })

@@ -1,0 +1,40 @@
+(** Incremental place-and-route state shared by the constructive
+    mappers: claim a node on an FU slot, route every dependence whose
+    other endpoint is already placed, roll back cleanly on failure. *)
+
+type t = {
+  problem : Ocgra_core.Problem.t;
+  ii : int;
+  occ : Ocgra_core.Occupancy.t;
+  binding : (int * int) array;  (** (-1, -1) = unplaced *)
+  placed : bool array;
+  routes : Ocgra_core.Mapping.route option array;
+  edges : Ocgra_dfg.Dfg.edge array;
+  incident : int list array;  (** node -> indices of incident edges *)
+}
+
+val create : Ocgra_core.Problem.t -> ii:int -> t
+val is_placed : t -> int -> bool
+val binding_of : t -> int -> int * int
+
+(** Claim a route's resources, rolling back on internal (modulo
+    self-) conflicts; registers the route on success. *)
+val try_claim_route : t -> int -> Ocgra_core.Mapping.route -> bool
+
+val release_edge : t -> int -> unit
+
+(** Strict-route one edge whose endpoints are both placed. *)
+val route_edge : t -> int -> bool
+
+(** Place node [v] and route all its edges toward placed endpoints;
+    rolls everything back and returns false on any failure. *)
+val place : t -> int -> pe:int -> time:int -> bool
+
+val unplace : t -> int -> unit
+val all_placed : t -> bool
+val to_mapping : t -> Ocgra_core.Mapping.t option
+
+(** Feasible (earliest, latest) start window of [v] on [pe] given the
+    placed neighbours, from hop-distance lower bounds; empty when
+    est > lst. *)
+val time_window : t -> int array array -> int -> int -> int * int

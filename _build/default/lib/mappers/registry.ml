@@ -1,0 +1,66 @@
+(* The mapper registry: one implemented representative per cell of the
+   survey's Table I.  The bench iterates this list to regenerate the
+   empirical companion of the table. *)
+
+open Ocgra_core
+
+let all : Mapper.t list =
+  [
+    (* spatial *)
+    Heuristic.greedy_spatial_mapper;
+    Graph_drawing.mapper;
+    Sa_spatial.mapper;
+    Ga_spatial.mapper;
+    Ilp_mappers.spatial;
+    (* temporal *)
+    Heuristic.modulo_mapper;
+    Edge_centric.mapper;
+    Sa_temporal.mapper;
+    Ilp_mappers.temporal;
+    Bb_temporal.mapper;
+    Cp_temporal.mapper;
+    Sat_temporal.mapper;
+    Smt_temporal.mapper;
+    (* binding-only (on a list schedule) *)
+    Iso_binding.mapper;
+    Schedule_bind.clique_binding;
+    Schedule_bind.qea_binding;
+    (* scheduling-only *)
+    Schedule_bind.list_scheduling;
+    Ilp_mappers.schedule;
+  ]
+
+let find name =
+  match List.find_opt (fun (m : Mapper.t) -> m.name = name) all with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Registry.find: unknown mapper %s" name)
+
+let names () = List.map (fun (m : Mapper.t) -> m.Mapper.name) all
+
+let spatial_mappers =
+  List.filter (fun (m : Mapper.t) -> m.scope = Taxonomy.Spatial_mapping) all
+
+let temporal_mappers =
+  List.filter
+    (fun (m : Mapper.t) ->
+      match m.scope with
+      | Taxonomy.Temporal_mapping | Taxonomy.Binding_only | Taxonomy.Scheduling_only -> true
+      | Taxonomy.Spatial_mapping -> false)
+    all
+
+(* The implemented Table I: scope rows x technique columns. *)
+let table_rows () =
+  List.map
+    (fun scope ->
+      let cells =
+        List.map
+          (fun col ->
+            all
+            |> List.filter (fun (m : Mapper.t) ->
+                   m.scope = scope && Taxonomy.column_of_approach m.approach = col)
+            |> List.map (fun (m : Mapper.t) ->
+                   Printf.sprintf "%s (%s)" m.name (Taxonomy.approach_to_string m.approach)))
+          Taxonomy.all_columns
+      in
+      (scope, cells))
+    Taxonomy.all_scopes

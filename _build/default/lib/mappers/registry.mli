@@ -1,0 +1,18 @@
+(** The mapper registry: one implemented representative per cell of the
+    survey's Table I; the bench iterates this list to regenerate the
+    empirical companion of the table. *)
+
+(** All 18 mappers, in Table I order (spatial, temporal, binding-only,
+    scheduling-only). *)
+val all : Ocgra_core.Mapper.t list
+
+(** Raises [Invalid_argument] on unknown names; see [names]. *)
+val find : string -> Ocgra_core.Mapper.t
+
+val names : unit -> string list
+val spatial_mappers : Ocgra_core.Mapper.t list
+val temporal_mappers : Ocgra_core.Mapper.t list
+
+(** The implemented Table I: per scope row, the four technique-column
+    cells as mapper descriptions. *)
+val table_rows : unit -> (Ocgra_core.Taxonomy.scope * string list list) list

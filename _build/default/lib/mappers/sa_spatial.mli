@@ -1,0 +1,12 @@
+(** Spatial mapping by simulated annealing over placements (the
+    SPR/SNAFU/DSAGEN school [49], [33], [32]). *)
+
+(** (mapping, attempts). *)
+val map :
+  ?config:Ocgra_meta.Sa.config ->
+  ?extractions:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,135 @@
+(* DRESC-style temporal mapping by simulated annealing ([22] Mei et
+   al., the most influential CGRA compiler; also the SA modulo
+   scheduler of [30]).
+
+   For a candidate II, the state is a full binding node -> (pe, cycle);
+   the cost prices FU slot collisions between operations and, for every
+   dependence, the congestion-priced routing cost (overuse allowed
+   while annealing).  When the annealer reaches a collision-free state,
+   the binding is strict-routed into a real mapping; the II loop starts
+   at MII. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Rng = Ocgra_util.Rng
+
+type state = { binding : (int * int) array }
+
+(* Annealing cost (cheap, O(nodes + edges)): FU slot overuse between
+   operations, timing infeasibility of each dependence against the
+   hop-distance lower bound, and wirelength — the classic SA placement
+   cost, with the real router only consulted at extraction time. *)
+let cost (p : Problem.t) hop_table ~ii (s : state) =
+  let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  let fu = Array.make (npe * ii) 0 in
+  Array.iter
+    (fun (pe, time) ->
+      let i = (pe * ii) + (((time mod ii) + ii) mod ii) in
+      fu.(i) <- fu.(i) + 1)
+    s.binding;
+  let collisions = Array.fold_left (fun acc c -> acc + max 0 (c - 1)) 0 fu in
+  let timing = ref 0 and wire = ref 0 in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      let pu, tu = s.binding.(e.src) and pv, tv = s.binding.(e.dst) in
+      let lat = Op.latency (Dfg.op p.dfg e.src) in
+      let slack = tv + (e.dist * ii) - tu - lat in
+      let needed = max 0 (hop_table.(pu).(pv) - 1) in
+      if slack < needed then timing := !timing + (needed - slack)
+      else begin
+        wire := !wire + needed;
+        (* waiting cycles must be absorbed by holds or detours: cheap
+           but not free *)
+        wire := !wire + ((slack - needed) / 2)
+      end)
+    (Dfg.edges p.dfg);
+  float_of_int ((1000 * collisions) + (300 * !timing) + !wire)
+
+let random_binding (p : Problem.t) rng ~ii ~horizon =
+  let cgra = p.cgra in
+  let npe = Ocgra_arch.Cgra.pe_count cgra in
+  let asap = Dfg.asap p.dfg in
+  Array.init (Dfg.node_count p.dfg) (fun v ->
+      let op = Dfg.op p.dfg v in
+      let capable = List.filter (fun pe -> Ocgra_arch.Cgra.supports cgra pe op) (List.init npe Fun.id) in
+      let pe = Rng.choose_list rng capable in
+      let time = min (horizon - 1) (asap.(v) + Rng.int rng (max 1 ii)) in
+      (pe, time))
+
+let neighbour (p : Problem.t) ~ii ~horizon rng (s : state) =
+  let binding = Array.copy s.binding in
+  let v = Rng.int rng (Array.length binding) in
+  let op = Dfg.op p.dfg v in
+  let cgra = p.cgra in
+  let npe = Ocgra_arch.Cgra.pe_count cgra in
+  let capable = List.filter (fun pe -> Ocgra_arch.Cgra.supports cgra pe op) (List.init npe Fun.id) in
+  let pe, time = binding.(v) in
+  (if Rng.bool rng then begin
+     (* move in space *)
+     binding.(v) <- (Rng.choose_list rng capable, time)
+   end
+   else begin
+     (* move in time *)
+     let dt = Rng.int_in rng (-ii) ii in
+     let time' = max 0 (min (horizon - 1) (time + dt)) in
+     binding.(v) <- (pe, time')
+   end);
+  { binding }
+
+let try_ii (p : Problem.t) rng ~ii ~config =
+  let horizon = Problem.max_time p in
+  let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
+  let init = { binding = random_binding p rng ~ii ~horizon } in
+  let best, _best_cost, _stats =
+    Ocgra_meta.Sa.run ~config rng ~init
+      ~neighbour:(neighbour p ~ii ~horizon)
+      ~cost:(cost p hop_table ~ii)
+  in
+  (* strict extraction; also try a few perturbed variants in case the
+     annealed optimum is slightly over-subscribed for the real router *)
+  let rec attempt_extract k state =
+    if k <= 0 then None
+    else
+      match Finalize.of_binding p ~ii state.binding with
+      | Some m -> Some m
+      | None -> attempt_extract (k - 1) (neighbour p ~ii ~horizon rng state)
+  in
+  attempt_extract 8 best
+
+let map ?(config = Ocgra_meta.Sa.default_config) (p : Problem.t) rng =
+  match p.kind with
+  | Problem.Spatial -> invalid_arg "Sa_temporal.map: use Sa_spatial for spatial problems"
+  | Problem.Temporal { max_ii; _ } ->
+      let mii = Mii.mii p.dfg p.cgra in
+      let attempts = ref 0 in
+      let rec over_ii ii =
+        if ii > max_ii then (None, !attempts, false)
+        else begin
+          let rec restarts k =
+            if k <= 0 then None
+            else begin
+              incr attempts;
+              match try_ii p rng ~ii ~config with
+              | Some m -> Some m
+              | None -> restarts (k - 1)
+            end
+          in
+          match restarts 3 with
+          | Some m -> (Some m, !attempts, ii = mii)
+          | None -> over_ii (ii + 1)
+        end
+      in
+      over_ii (max 1 mii)
+
+let mapper =
+  Mapper.make ~name:"dresc-sa" ~citation:"Mei et al. [22]; Hatanaka & Bagherzadeh [30]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:(Taxonomy.Meta_local "SA")
+    (fun p rng ->
+      let m, attempts, proven = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "simulated annealing over bindings, congestion-priced routing";
+      })

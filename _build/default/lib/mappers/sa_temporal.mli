@@ -1,0 +1,26 @@
+(** DRESC-style temporal mapping by simulated annealing ([22], [30]):
+    anneal a full node->(PE, cycle) binding under an FU-collision +
+    timing-feasibility + wirelength cost, then strict-route (with
+    negotiated fallback) at extraction. *)
+
+type state = { binding : (int * int) array }
+
+(** The annealing cost (cheap, O(nodes + edges)). *)
+val cost : Ocgra_core.Problem.t -> int array array -> ii:int -> state -> float
+
+(** One annealing run + extraction at a fixed II. *)
+val try_ii :
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  ii:int ->
+  config:Ocgra_meta.Sa.config ->
+  Ocgra_core.Mapping.t option
+
+(** (mapping, attempts, proven optimal at MII). *)
+val map :
+  ?config:Ocgra_meta.Sa.config ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val mapper : Ocgra_core.Mapper.t

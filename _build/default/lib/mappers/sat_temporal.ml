@@ -1,0 +1,241 @@
+(* SAT-based temporal mapping ([17] Miyasaka et al.): binding,
+   scheduling AND routing encoded propositionally and solved with the
+   CDCL solver, per candidate II starting at MII — so a SAT answer at
+   MII is a certified optimal II, and UNSAT at an II is a certificate
+   that no mapping exists within the schedule window.
+
+   Variables, per candidate II with schedule window T:
+     x[v][p][t]  operation v executes on PE p at cycle t
+     y[e][p][t]  the value of edge e is readable on p's output at t
+     h[e][p][t]  a route op for e occupies p's FU at cycle t
+   Clauses: exactly-one x per node; at-most-one user per FU modulo
+   slot (x and h together); y justified by production or by a hop;
+   hops justified by an adjacent readable value; consumers read an
+   adjacent readable value at their consumption cycle.
+
+   Simplifications vs the full framework (documented in DESIGN.md):
+   routes use FU hops only (no register-file holds), and each edge
+   routes separately (no fan-out sharing); both only shrink the
+   feasible set, so validity of produced mappings is unaffected. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Sat = Ocgra_sat.Solver
+module Enc = Ocgra_sat.Encodings
+
+type instance = {
+  sat : Sat.t;
+  x : (int * int * int, Sat.lit) Hashtbl.t; (* node, pe, t *)
+  y : (int * int * int, Sat.lit) Hashtbl.t; (* edge, pe, t *)
+  h : (int * int * int, Sat.lit) Hashtbl.t;
+}
+
+let build (p : Problem.t) ~ii ~slack =
+  let dfg = p.dfg and cgra = p.cgra in
+  let npe = Ocgra_arch.Cgra.pe_count cgra in
+  let n = Dfg.node_count dfg in
+  let edges = Array.of_list (Dfg.edges dfg) in
+  let asap = Dfg.asap dfg in
+  let window v = (asap.(v), asap.(v) + ii + slack) in
+  let t_max = Array.fold_left (fun acc v -> max acc (snd (window v))) 0 (Array.init n Fun.id) in
+  let max_dist = Array.fold_left (fun acc (e : Dfg.edge) -> max acc e.dist) 0 edges in
+  let ty = t_max + (max_dist * ii) + 2 in
+  let sat = Sat.create () in
+  let x = Hashtbl.create 256 and y = Hashtbl.create 256 and h = Hashtbl.create 256 in
+  let getvar tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l
+    | None ->
+        let l = Sat.pos (Sat.new_var sat) in
+        Hashtbl.add tbl key l;
+        l
+  in
+  (* x vars on capable cells within the window *)
+  for v = 0 to n - 1 do
+    let lo, hi = window v in
+    for pe = 0 to npe - 1 do
+      if Ocgra_arch.Cgra.supports cgra pe (Dfg.op dfg v) then
+        for t = lo to hi do
+          ignore (getvar x (v, pe, t))
+        done
+    done
+  done;
+  (* y/h vars for every edge, every pe, every cycle up to ty *)
+  Array.iteri
+    (fun e (_ : Dfg.edge) ->
+      for pe = 0 to npe - 1 do
+        for t = 0 to ty - 1 do
+          ignore (getvar y (e, pe, t));
+          ignore (getvar h (e, pe, t))
+        done
+      done)
+    edges;
+  let xg v pe t = Hashtbl.find_opt x (v, pe, t) in
+  let yg e pe t = Hashtbl.find_opt y (e, pe, t) in
+  let hg e pe t = Hashtbl.find_opt h (e, pe, t) in
+  (* 1. each node executes exactly once *)
+  for v = 0 to n - 1 do
+    let lits = Hashtbl.fold (fun (v', _, _) l acc -> if v' = v then l :: acc else acc) x [] in
+    if lits = [] then Sat.add_clause sat [] (* unmappable node *)
+    else Enc.exactly_one sat lits
+  done;
+  (* 2. FU exclusivity per (pe, slot) *)
+  for pe = 0 to npe - 1 do
+    for slot = 0 to ii - 1 do
+      let users = ref [] in
+      Hashtbl.iter (fun (_, p', t) l -> if p' = pe && t mod ii = slot then users := l :: !users) x;
+      Hashtbl.iter (fun (_, p', t) l -> if p' = pe && t mod ii = slot then users := l :: !users) h;
+      Enc.at_most_one sat !users
+    done
+  done;
+  (* 3. y justification: production or a hop one cycle earlier *)
+  Array.iteri
+    (fun e (edge : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg edge.src) in
+      for pe = 0 to npe - 1 do
+        for t = 0 to ty - 1 do
+          match yg e pe t with
+          | None -> ()
+          | Some yl ->
+              let just = ref [] in
+              (match if t - lat >= 0 then xg edge.src pe (t - lat) else None with
+              | Some xl -> just := xl :: !just
+              | None -> ());
+              (match if t - 1 >= 0 then hg e pe (t - 1) else None with
+              | Some hl -> just := hl :: !just
+              | None -> ());
+              Sat.add_clause sat (Sat.negate yl :: !just)
+        done
+      done)
+    edges;
+  (* 4. hop justification: an adjacent readable value the same cycle *)
+  Array.iteri
+    (fun e (_ : Dfg.edge) ->
+      for pe = 0 to npe - 1 do
+        let sources = pe :: Ocgra_arch.Cgra.neighbours cgra pe in
+        for t = 0 to ty - 1 do
+          match hg e pe t with
+          | None -> ()
+          | Some hl ->
+              let feeds = List.filter_map (fun q -> yg e q t) sources in
+              Sat.add_clause sat (Sat.negate hl :: feeds)
+        done
+      done)
+    edges;
+  (* 5. production implies readability *)
+  Array.iteri
+    (fun e (edge : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg edge.src) in
+      Hashtbl.iter
+        (fun (v, pe, t) xl ->
+          if v = edge.src then
+            match yg e pe (t + lat) with
+            | Some yl -> Sat.add_clause sat [ Sat.negate xl; yl ]
+            | None -> Sat.add_clause sat [ Sat.negate xl ])
+        x)
+    edges;
+  (* 6. consumption: the consumer reads an adjacent readable value *)
+  Array.iteri
+    (fun e (edge : Dfg.edge) ->
+      Hashtbl.iter
+        (fun (v, pe, t) xl ->
+          if v = edge.dst then begin
+            let ct = t + (edge.dist * ii) in
+            if ct >= ty then Sat.add_clause sat [ Sat.negate xl ]
+            else begin
+              let sources = pe :: Ocgra_arch.Cgra.neighbours cgra pe in
+              let feeds = List.filter_map (fun q -> yg e q ct) sources in
+              Sat.add_clause sat (Sat.negate xl :: feeds)
+            end
+          end)
+        x)
+    edges;
+  { sat; x; y; h }
+
+let lit_true sat l =
+  let v = Sat.var_of l in
+  if Sat.is_pos l then Sat.value sat v else not (Sat.value sat v)
+
+(* Extract the binding and explicit hop routes from a model. *)
+let extract (p : Problem.t) inst ~ii =
+  let dfg = p.dfg and cgra = p.cgra in
+  let n = Dfg.node_count dfg in
+  let edges = Array.of_list (Dfg.edges dfg) in
+  let binding = Array.make n (-1, -1) in
+  Hashtbl.iter
+    (fun (v, pe, t) l -> if lit_true inst.sat l then binding.(v) <- (pe, t))
+    inst.x;
+  let y_true e pe t =
+    match Hashtbl.find_opt inst.y (e, pe, t) with Some l -> lit_true inst.sat l | None -> false
+  in
+  let h_true e pe t =
+    match Hashtbl.find_opt inst.h (e, pe, t) with Some l -> lit_true inst.sat l | None -> false
+  in
+  let routes =
+    Array.mapi
+      (fun e (edge : Dfg.edge) ->
+        let pv, tv = binding.(edge.dst) in
+        let lat = Op.latency (Dfg.op dfg edge.src) in
+        let avail0 = snd binding.(edge.src) + lat in
+        let ct = tv + (edge.dist * ii) in
+        (* backward walk tracking the value's location: at (pe, t) the
+           value is readable; it got there by a hop on pe at t-1 from an
+           adjacent readable location, or by production at (pu, avail0) *)
+        let rec walk pe t acc =
+          if t = avail0 then acc (* grounded at production on pu *)
+          else if h_true e pe (t - 1) then begin
+            let sources = pe :: Ocgra_arch.Cgra.neighbours cgra pe in
+            match List.find_opt (fun q -> y_true e q (t - 1)) sources with
+            | Some q -> walk q (t - 1) (Mapping.Hop { pe; time = t - 1 } :: acc)
+            | None -> acc (* model inconsistency; caught by the checker *)
+          end
+          else acc
+        in
+        (* the consumer reads from an adjacent readable location *)
+        if ct = avail0 then []
+        else begin
+          let sources = pv :: Ocgra_arch.Cgra.neighbours cgra pv in
+          match List.find_opt (fun q -> y_true e q ct) sources with
+          | Some q0 -> walk q0 ct []
+          | None -> []
+        end)
+      edges
+  in
+  { Mapping.ii; binding; routes }
+
+let map ?(slack = 3) ?(max_conflicts = 300_000) (p : Problem.t) rng =
+  ignore rng;
+  match p.kind with
+  | Problem.Spatial -> (None, 0, false, "spatial problems use the ILP/heuristic spatial mappers")
+  | Problem.Temporal { max_ii; _ } ->
+      let mii = Mii.mii p.dfg p.cgra in
+      let attempts = ref 0 in
+      let rec over_ii ii budget_hit =
+        if ii > max_ii then (None, !attempts, false, if budget_hit then "budget" else "unsat up to max II")
+        else begin
+          incr attempts;
+          let inst = build p ~ii ~slack in
+          match Sat.solve ~max_conflicts inst.sat with
+          | Sat.Sat ->
+              let m = extract p inst ~ii in
+              (* proven optimal when every smaller II was refuted without
+                 hitting the conflict budget *)
+              (Some m, !attempts, (ii = mii || not budget_hit) && true, "")
+          | Sat.Unsat -> over_ii (ii + 1) budget_hit
+          | Sat.Unknown -> over_ii (ii + 1) true
+        end
+      in
+      over_ii (max 1 mii) false
+
+let mapper =
+  Mapper.make ~name:"sat" ~citation:"Miyasaka et al. [17]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_sat
+    (fun p rng ->
+      let m, attempts, proven, note = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note;
+      })

@@ -1,0 +1,15 @@
+(** SAT-based temporal mapping ([17]): binding, scheduling and routing
+    encoded propositionally per candidate II, starting at MII — SAT at
+    MII certifies the optimal II; UNSAT certifies infeasibility within
+    the schedule window.  Routes use FU hops only (no RF holds) and
+    fan-out edges route separately; see DESIGN.md. *)
+
+(** (mapping, attempts, proven optimal, note). *)
+val map :
+  ?slack:int ->
+  ?max_conflicts:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool * string
+
+val mapper : Ocgra_core.Mapper.t

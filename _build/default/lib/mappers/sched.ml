@@ -1,0 +1,71 @@
+(* Resource-constrained modulo list scheduling (no placement): the
+   classic decoupled first phase of the "Scheduling" row of Table I.
+   Resources are counted per functional class and per modulo slot;
+   operations are scheduled in priority (height) order at their
+   earliest feasible cycle. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Rng = Ocgra_util.Rng
+
+(* Returns times per node, or None. *)
+let modulo_list_schedule ?(horizon_slack = 8) (p : Problem.t) rng ~ii =
+  let dfg = p.dfg and cgra = p.cgra in
+  let n = Dfg.node_count dfg in
+  let horizon = Dfg.critical_path dfg + (2 * ii) + horizon_slack in
+  (* capacity per functional class per slot *)
+  let classes = [ Op.F_alu; Op.F_mul; Op.F_mem; Op.F_io ] in
+  let capacity cls =
+    List.length
+      (List.filter
+         (fun pe -> Ocgra_arch.Pe.has_class (Ocgra_arch.Cgra.pe cgra pe) cls)
+         (List.init (Ocgra_arch.Cgra.pe_count cgra) Fun.id))
+  in
+  let cap = List.map (fun c -> (c, capacity c)) classes in
+  let used = Hashtbl.create 32 in
+  (* (class, slot) -> count *)
+  let order = Constructive.topo_order_by_height rng dfg in
+  let times = Array.make n (-1) in
+  let edges = Dfg.edges dfg in
+  let ok =
+    List.for_all
+      (fun v ->
+        let cls = Op.func_class (Dfg.op dfg v) in
+        let class_cap = try List.assoc cls cap with Not_found -> 0 in
+        if class_cap = 0 then false
+        else begin
+          let est =
+            List.fold_left
+              (fun acc (e : Dfg.edge) ->
+                if e.dst = v && e.src <> v && times.(e.src) >= 0 then
+                  max acc (times.(e.src) + Op.latency (Dfg.op dfg e.src) - (e.dist * ii))
+                else acc)
+              0 edges
+          in
+          let rec find t =
+            if t >= horizon then None
+            else begin
+              let slot = t mod ii in
+              let u = Option.value ~default:0 (Hashtbl.find_opt used (cls, slot)) in
+              if u < class_cap then Some t else find (t + 1)
+            end
+          in
+          match find (max 0 est) with
+          | Some t ->
+              times.(v) <- t;
+              let slot = t mod ii in
+              Hashtbl.replace used (cls, slot)
+                (1 + Option.value ~default:0 (Hashtbl.find_opt used (cls, slot)));
+              true
+          | None -> false
+        end)
+      order
+  in
+  (* self-edges: check recurrence feasibility *)
+  let self_ok =
+    List.for_all
+      (fun (e : Dfg.edge) ->
+        e.src <> e.dst || Op.latency (Dfg.op dfg e.src) <= e.dist * ii)
+      edges
+  in
+  if ok && self_ok then Some times else None

@@ -1,0 +1,8 @@
+(** Resource-constrained modulo list scheduling without placement: the
+    decoupled first phase of the Table I "Scheduling" row. Resources
+    are counted per functional class and modulo slot. *)
+
+(** Times per node respecting dependences and class capacities, or
+    [None] when the II is infeasible for this resource mix. *)
+val modulo_list_schedule :
+  ?horizon_slack:int -> Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> ii:int -> int array option

@@ -1,0 +1,25 @@
+(** Decoupled mappers: modulo list scheduling first, then binding by
+    three different techniques (the Binding and Scheduling rows of
+    Table I). *)
+
+(** Greedy proximity binding of a fixed schedule. *)
+val greedy_bind :
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  ii:int ->
+  int array ->
+  Ocgra_core.Mapping.t option
+
+(** Compatibility-graph maximum-clique binding (RAMP [38],
+    REGIMap [46]). *)
+val clique_bind :
+  Ocgra_core.Problem.t -> ii:int -> int array -> Ocgra_core.Mapping.t option
+
+(** Scheduling x heuristics: list schedule + greedy binding. *)
+val list_scheduling : Ocgra_core.Mapper.t
+
+(** Binding x heuristics: list schedule + max-clique binding. *)
+val clique_binding : Ocgra_core.Mapper.t
+
+(** Binding x QEA ([48]): list schedule + quantum-inspired binding. *)
+val qea_binding : Ocgra_core.Mapper.t

@@ -1,0 +1,140 @@
+(* SMT-based mapping ([44] Donovick et al., who target CGRAs with
+   restricted routing networks).
+
+   The placement structure is propositional (one PE per op, at most one
+   op per PE — the restricted-routing regime) while the schedule lives
+   in integer difference logic: for every dependence and every
+   placement pair, a conditional atom t_v - t_u >= lat + hops(p,q) - 1
+   - dist*II.  The lazy IDL solver finds a placement+schedule; routing
+   is then strict, with placement blocking clauses on failure. *)
+
+open Ocgra_dfg
+open Ocgra_core
+module Smt = Ocgra_smt.Smt
+module Sat = Ocgra_sat.Solver
+module Enc = Ocgra_sat.Encodings
+
+let try_ii (p : Problem.t) ~ii ~routing_retries =
+  let dfg = p.dfg and cgra = p.cgra in
+  let npe = Ocgra_arch.Cgra.pe_count cgra in
+  let n = Dfg.node_count dfg in
+  let hop_table = Ocgra_arch.Cgra.hop_table cgra in
+  let horizon = min (Problem.max_time p) (Dfg.critical_path dfg + (2 * ii) + 6) in
+  let smt = Smt.create () in
+  let sat = Smt.sat_solver smt in
+  (* placement booleans *)
+  let b =
+    Array.init n (fun v ->
+        List.filter_map
+          (fun pe ->
+            if Ocgra_arch.Cgra.supports cgra pe (Dfg.op dfg v) then Some (pe, Smt.new_bool smt)
+            else None)
+          (List.init npe Fun.id))
+  in
+  Array.iter (fun bs -> Enc.exactly_one sat (List.map snd bs)) b;
+  (* restricted routing: at most one op per PE *)
+  for pe = 0 to npe - 1 do
+    let users = Array.to_list b |> List.concat_map (List.filter (fun (q, _) -> q = pe)) in
+    Enc.at_most_one sat (List.map snd users)
+  done;
+  (* integer times with a zero reference *)
+  let zero = Smt.new_int smt "zero" in
+  let time = Array.init n (fun v -> Smt.new_int smt (Printf.sprintf "t%d" v)) in
+  Array.iter
+    (fun tv ->
+      Sat.add_clause sat [ Smt.atom_ge smt tv zero 0 ];
+      Sat.add_clause sat [ Smt.atom_le smt tv zero (horizon - 1) ])
+    time;
+  (* conditional timing atoms *)
+  List.iter
+    (fun (e : Dfg.edge) ->
+      let lat = Op.latency (Dfg.op dfg e.src) in
+      if e.src = e.dst then begin
+        (* recurrence on one op: lat <= dist * ii must hold *)
+        if lat > e.dist * ii then Sat.add_clause sat []
+      end
+      else
+        List.iter
+          (fun (pu, bu) ->
+            List.iter
+              (fun (pv, bv) ->
+                let h = hop_table.(pu).(pv) in
+                if h >= Ocgra_graph.Paths.unreachable then
+                  Sat.add_clause sat [ Sat.negate bu; Sat.negate bv ]
+                else begin
+                  let bound = lat + max 0 (h - 1) - (e.dist * ii) in
+                  let atom = Smt.atom_ge smt time.(e.dst) time.(e.src) bound in
+                  Sat.add_clause sat [ Sat.negate bu; Sat.negate bv; atom ]
+                end)
+              b.(e.dst))
+          b.(e.src))
+    (Dfg.edges dfg);
+  let rec extract_loop k =
+    if k <= 0 then None
+    else begin
+      match Smt.solve ~max_rounds:400 ~max_conflicts:200_000 smt with
+      | Smt.Unsat_ | Smt.Unknown_ -> None
+      | Smt.Sat_ ->
+          let z = Smt.int_value smt zero in
+          let binding =
+            Array.init n (fun v ->
+                let pe =
+                  List.fold_left (fun acc (pe, l) -> if Smt.bool_value smt l then pe else acc) (-1) b.(v)
+                in
+                (pe, Smt.int_value smt time.(v) - z))
+          in
+          (* clamp times into [0, horizon): the IDL model is shift-invariant *)
+          let tmin = Array.fold_left (fun acc (_, t) -> min acc t) max_int binding in
+          let binding = Array.map (fun (pe, t) -> (pe, t - min tmin 0)) binding in
+          (match Finalize.of_binding p ~ii binding with
+          | Some m -> Some m
+          | None ->
+              (* block this exact placement and try again *)
+              let blocking =
+                Array.to_list b
+                |> List.concat_map (fun bs ->
+                       List.filter_map
+                         (fun (_, l) -> if Smt.bool_value smt l then Some (Sat.negate l) else None)
+                         bs)
+              in
+              Sat.add_clause sat blocking;
+              extract_loop (k - 1))
+    end
+  in
+  extract_loop routing_retries
+
+let map ?(routing_retries = 6) (p : Problem.t) rng =
+  ignore rng;
+  match p.kind with
+  | Problem.Spatial -> (None, 0, false)
+  | Problem.Temporal { max_ii; _ } ->
+      (* restricted routing caps the op count at the PE count *)
+      if Dfg.node_count p.dfg > Ocgra_arch.Cgra.pe_count p.cgra then (None, 0, false)
+      else begin
+        let mii = Mii.mii p.dfg p.cgra in
+        let attempts = ref 0 in
+        let rec over_ii ii =
+          if ii > max_ii then (None, false)
+          else begin
+            incr attempts;
+            match try_ii p ~ii ~routing_retries with
+            | Some m -> (Some m, ii = mii)
+            | None -> over_ii (ii + 1)
+          end
+        in
+        let m, proven = over_ii (max 1 mii) in
+        (m, !attempts, proven)
+      end
+
+let mapper =
+  Mapper.make ~name:"smt" ~citation:"Donovick et al. [44]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_smt
+    (fun p rng ->
+      let m, attempts, proven = map p rng in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "difference-logic schedule + propositional placement (restricted routing)";
+      })

@@ -1,0 +1,13 @@
+(** SMT-based mapping ([44], restricted routing networks): placement is
+    propositional (one op per PE), the schedule lives in integer
+    difference logic with placement-conditional atoms; routing is lazy
+    with placement blocking clauses. *)
+
+(** (mapping, attempts, proven optimal at MII). *)
+val map :
+  ?routing_retries:int ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
+
+val mapper : Ocgra_core.Mapper.t

@@ -1,0 +1,1 @@
+lib/mem/bank.ml: Array List

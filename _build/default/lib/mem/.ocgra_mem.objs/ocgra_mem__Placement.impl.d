@@ -1,0 +1,1 @@
+lib/mem/placement.ml: Array Hashtbl List Ocgra_ilp Printf

@@ -1,0 +1,1 @@
+lib/mem/regalloc.ml: Array Hashtbl List Mapping Ocgra_core Option

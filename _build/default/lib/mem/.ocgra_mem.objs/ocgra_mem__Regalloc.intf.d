@@ -1,0 +1,1 @@
+lib/mem/regalloc.mli: Ocgra_core

@@ -1,0 +1,49 @@
+(* Multi-bank data memory model (Section III.C: "number of banks,
+   communication bandwidth, and memory size" [50], [65]-[68]).
+
+   The CGRA's load/store units reach a scratchpad split into [banks]
+   single-ported banks; two accesses in the same cycle to the same bank
+   stall one cycle each (sequentialised).  Bank of an address is
+   [addr / interleave mod banks] — low-order interleaving for
+   interleave = 1, block-banked for larger interleave. *)
+
+type t = { banks : int; interleave : int }
+
+let make ?(interleave = 1) banks =
+  if banks < 1 then invalid_arg "Bank.make: need at least one bank";
+  { banks; interleave = max 1 interleave }
+
+let bank_of t addr = addr / t.interleave mod t.banks
+
+(* Conflicts of one cycle's accesses: number of extra stall cycles. *)
+let cycle_conflicts t addrs =
+  let per_bank = Array.make t.banks 0 in
+  List.iter (fun a -> per_bank.(bank_of t a) <- per_bank.(bank_of t a) + 1) addrs;
+  Array.fold_left (fun acc c -> acc + max 0 (c - 1)) 0 per_bank
+
+(* Total stalls of an access trace: list of per-cycle address lists. *)
+let trace_conflicts t trace = List.fold_left (fun acc addrs -> acc + cycle_conflicts t addrs) 0 trace
+
+(* The access trace of a mapped kernel: for each cycle slot of the
+   steady state, the addresses touched by loads/stores scheduled in
+   that slot, for a run of [iters] iterations with the given affine
+   access functions (array base + stride * iteration). *)
+type access = { array_base : int; stride : int; offset : int }
+
+let steady_state_trace ~ii ~iters (accesses : (int * access) list) =
+  (* (slot, access) list -> per-cycle address lists *)
+  List.init iters (fun iter ->
+      List.init ii (fun slot ->
+          List.filter_map
+            (fun (s, a) ->
+              if s = slot then Some (a.array_base + (a.stride * iter) + a.offset) else None)
+            accesses))
+  |> List.concat
+
+(* Sweep bank counts for a trace shape; the banking ablation. *)
+let conflicts_by_banks ~bank_counts ~ii ~iters accesses =
+  List.map
+    (fun banks ->
+      let t = make banks in
+      (banks, trace_conflicts t (steady_state_trace ~ii ~iters accesses)))
+    bank_counts

@@ -1,0 +1,27 @@
+(** Multi-bank scratchpad model (Section III.C): single-ported banks,
+    same-cycle same-bank accesses sequentialised into stalls. *)
+
+type t = { banks : int; interleave : int }
+
+(** [make ?interleave banks]: bank of an address is
+    [addr / interleave mod banks] (low-order interleaving by default). *)
+val make : ?interleave:int -> int -> t
+
+val bank_of : t -> int -> int
+
+(** Extra stall cycles of one cycle's address list. *)
+val cycle_conflicts : t -> int list -> int
+
+(** Total stalls of a per-cycle trace. *)
+val trace_conflicts : t -> int list list -> int
+
+(** Affine access: address = base + stride * iteration + offset. *)
+type access = { array_base : int; stride : int; offset : int }
+
+(** Per-cycle address lists of a steady-state run: accesses are
+    (modulo slot, access) pairs. *)
+val steady_state_trace : ii:int -> iters:int -> (int * access) list -> int list list
+
+(** The banking ablation: (bank count, stalls) per configuration. *)
+val conflicts_by_banks :
+  bank_counts:int list -> ii:int -> iters:int -> (int * access) list -> (int * int) list

@@ -1,0 +1,92 @@
+(* Register allocation for mapped kernels ([29] rotating register
+   files; [25] URECA's unified register file; [46] REGIMap).
+
+   Given a valid mapping, every Hold in a route is a value parked in a
+   register file.  This module computes, per PE:
+
+   - the rotating-file register need: the maximum number of live hold
+     cycles per modulo slot (what the checker bounds against rf_size);
+   - the unified/static-file register need: the chromatic number of the
+     circular-arc overlap graph of the holds, i.e. what a register file
+     WITHOUT rotation must provision (>= the rotating need; the gap is
+     the benefit [29] reports for rotation). *)
+
+open Ocgra_core
+
+type hold = { pe : int; from_ : int; until : int }
+
+let holds_of_mapping (m : Mapping.t) =
+  Array.to_list m.routes
+  |> List.concat_map
+       (List.filter_map (function
+         | Mapping.Hold { pe; from_; until } -> Some { pe; from_; until }
+         | Mapping.Hop _ -> None))
+
+(* Live modulo slots of a hold: one register-slot unit per covered
+   cycle, wrapped into [0, ii). *)
+let live_slots ~ii h = List.init (h.until - h.from_) (fun i -> (h.from_ + 1 + i) mod ii)
+
+(* Rotating-file need: per PE, max over slots of live values. *)
+let rotating_need ~ii (m : Mapping.t) ~npe =
+  let need = Array.make npe 0 in
+  let per_slot = Hashtbl.create 32 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun s ->
+          let k = (h.pe, s) in
+          let c = 1 + Option.value ~default:0 (Hashtbl.find_opt per_slot k) in
+          Hashtbl.replace per_slot k c;
+          need.(h.pe) <- max need.(h.pe) c)
+        (live_slots ~ii h))
+    (holds_of_mapping m);
+  need
+
+(* Unified/static-file need: greedy colouring of the overlap graph of
+   hold *instances* per PE (a hold spanning s cycles keeps
+   ceil(s / II) iterations' values alive simultaneously, so it
+   contributes that many instances; holds overlap when they share a
+   modulo slot). *)
+let unified_need ~ii (m : Mapping.t) ~npe =
+  let need = Array.make npe 0 in
+  let holds_per_pe = Array.make npe [] in
+  List.iter
+    (fun h ->
+      let copies = ((h.until - h.from_) + ii - 1) / ii in
+      for _ = 1 to copies do
+        holds_per_pe.(h.pe) <- h :: holds_per_pe.(h.pe)
+      done)
+    (holds_of_mapping m);
+  for pe = 0 to npe - 1 do
+    let holds = Array.of_list holds_per_pe.(pe) in
+    let slots = Array.map (fun h -> List.sort_uniq compare (live_slots ~ii h)) holds in
+    let overlap i j = List.exists (fun s -> List.mem s slots.(j)) slots.(i) in
+    let colour = Array.make (Array.length holds) (-1) in
+    Array.iteri
+      (fun i _ ->
+        let used = Array.to_list colour |> List.filteri (fun j _ -> j < i && overlap i j) in
+        let rec first c = if List.mem c used then first (c + 1) else c in
+        colour.(i) <- first 0;
+        need.(pe) <- max need.(pe) (colour.(i) + 1))
+      holds
+  done;
+  need
+
+(* Summary used by the register-file ablation. *)
+type summary = {
+  total_holds : int;
+  max_rotating : int;
+  max_unified : int;
+  total_rotating : int;
+  total_unified : int;
+}
+
+let summarize (m : Mapping.t) ~npe =
+  let rot = rotating_need ~ii:m.ii m ~npe and uni = unified_need ~ii:m.ii m ~npe in
+  {
+    total_holds = List.length (holds_of_mapping m);
+    max_rotating = Array.fold_left max 0 rot;
+    max_unified = Array.fold_left max 0 uni;
+    total_rotating = Array.fold_left ( + ) 0 rot;
+    total_unified = Array.fold_left ( + ) 0 uni;
+  }

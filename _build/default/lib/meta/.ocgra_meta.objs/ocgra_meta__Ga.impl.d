@@ -1,0 +1,1 @@
+lib/meta/ga.ml: Array Fun Ocgra_util

@@ -1,0 +1,1 @@
+lib/meta/ga.mli: Ocgra_util

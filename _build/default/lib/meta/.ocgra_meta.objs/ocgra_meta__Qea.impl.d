@@ -1,0 +1,1 @@
+lib/meta/qea.ml: Array Float Ocgra_util

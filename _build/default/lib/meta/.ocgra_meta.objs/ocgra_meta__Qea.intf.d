@@ -1,0 +1,1 @@
+lib/meta/qea.mli: Ocgra_util

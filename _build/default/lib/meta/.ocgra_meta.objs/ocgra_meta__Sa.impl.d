@@ -1,0 +1,1 @@
+lib/meta/sa.ml: Ocgra_util

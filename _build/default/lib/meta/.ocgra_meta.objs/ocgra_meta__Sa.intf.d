@@ -1,0 +1,1 @@
+lib/meta/sa.mli: Ocgra_util

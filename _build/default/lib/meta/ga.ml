@@ -1,0 +1,80 @@
+(* Generational genetic algorithm with tournament selection and
+   elitism.  GenMap-style spatial mapping evolves placement genomes
+   with a router-based fitness; the engine is genome-agnostic.
+   Fitness is maximized. *)
+
+module Rng = Ocgra_util.Rng
+
+type config = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elitism : int; (* individuals copied unchanged into the next generation *)
+}
+
+let default_config =
+  {
+    population = 40;
+    generations = 60;
+    crossover_rate = 0.9;
+    mutation_rate = 0.3;
+    tournament = 3;
+    elitism = 2;
+  }
+
+type stats = { evaluations : int; best_generation : int }
+
+let run ?(config = default_config) ?(stop_at = infinity) rng ~init ~crossover ~mutate ~fitness =
+  let pop = Array.init config.population (fun _ -> init rng) in
+  let fit = Array.map fitness pop in
+  let evaluations = ref config.population in
+  let best = ref pop.(0) and best_fit = ref fit.(0) and best_generation = ref 0 in
+  let record gen =
+    Array.iteri
+      (fun i f ->
+        if f > !best_fit then begin
+          best_fit := f;
+          best := pop.(i);
+          best_generation := gen
+        end)
+      fit
+  in
+  record 0;
+  let tournament_pick () =
+    let best_i = ref (Rng.int rng config.population) in
+    for _ = 2 to config.tournament do
+      let j = Rng.int rng config.population in
+      if fit.(j) > fit.(!best_i) then best_i := j
+    done;
+    pop.(!best_i)
+  in
+  let gen = ref 0 in
+  while !gen < config.generations && !best_fit < stop_at do
+    incr gen;
+    (* rank indices by fitness for elitism *)
+    let order = Array.init config.population Fun.id in
+    Array.sort (fun a b -> compare fit.(b) fit.(a)) order;
+    let next = Array.make config.population pop.(0) in
+    for e = 0 to min (config.elitism - 1) (config.population - 1) do
+      next.(e) <- pop.(order.(e))
+    done;
+    for i = config.elitism to config.population - 1 do
+      let a = tournament_pick () in
+      let child =
+        if Rng.float rng 1.0 < config.crossover_rate then crossover rng a (tournament_pick ())
+        else a
+      in
+      let child = if Rng.float rng 1.0 < config.mutation_rate then mutate rng child else child in
+      next.(i) <- child
+    done;
+    Array.blit next 0 pop 0 config.population;
+    Array.iteri
+      (fun i g ->
+        fit.(i) <- fitness g;
+        incr evaluations)
+      pop;
+    record !gen
+  done;
+  (!best, !best_fit, { evaluations = !evaluations; best_generation = !best_generation })

@@ -1,0 +1,26 @@
+(** Generational genetic algorithm with tournament selection and
+    elitism; fitness is maximized, stopping early at [stop_at]. *)
+
+type config = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elitism : int;  (** individuals copied unchanged into each generation *)
+}
+
+val default_config : config
+
+type stats = { evaluations : int; best_generation : int }
+
+(** Returns (best genome, best fitness, stats). *)
+val run :
+  ?config:config ->
+  ?stop_at:float ->
+  Ocgra_util.Rng.t ->
+  init:(Ocgra_util.Rng.t -> 'g) ->
+  crossover:(Ocgra_util.Rng.t -> 'g -> 'g -> 'g) ->
+  mutate:(Ocgra_util.Rng.t -> 'g -> 'g) ->
+  fitness:('g -> float) ->
+  'g * float * stats

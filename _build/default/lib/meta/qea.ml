@@ -1,0 +1,45 @@
+(* Quantum-inspired evolutionary algorithm over fixed-length binary
+   genomes ([48], Lee et al., uses QEA for binding).
+
+   Each "qubit" is a probability of observing bit = 1; a generation
+   observes the population, evaluates the classical genomes, and
+   rotates every qubit toward the best genome seen so far.  Fitness is
+   maximized. *)
+
+module Rng = Ocgra_util.Rng
+
+type config = {
+  population : int;
+  generations : int;
+  rotation : float; (* probability shift per generation toward the best bits *)
+}
+
+let default_config = { population = 20; generations = 80; rotation = 0.05 }
+
+let run ?(config = default_config) ?(stop_at = infinity) rng ~n_bits ~fitness =
+  let q = Array.make n_bits 0.5 in
+  let observe () = Array.init n_bits (fun i -> Rng.float rng 1.0 < q.(i)) in
+  let best = ref (observe ()) in
+  let best_fit = ref (fitness !best) in
+  let evaluations = ref 1 in
+  let gen = ref 0 in
+  while !gen < config.generations && !best_fit < stop_at do
+    incr gen;
+    for _ = 1 to config.population do
+      let genome = observe () in
+      let f = fitness genome in
+      incr evaluations;
+      if f > !best_fit then begin
+        best_fit := f;
+        best := genome
+      end
+    done;
+    (* rotate toward the best genome, clamped away from 0/1 so the
+       population keeps exploring *)
+    for i = 0 to n_bits - 1 do
+      let target = if !best.(i) then 1.0 else 0.0 in
+      let moved = q.(i) +. (config.rotation *. (target -. q.(i)) /. max 0.5 (Float.abs (target -. q.(i)))) in
+      q.(i) <- Float.max 0.02 (Float.min 0.98 moved)
+    done
+  done;
+  (!best, !best_fit, !evaluations)

@@ -1,0 +1,55 @@
+(* Generic simulated annealing.
+
+   DRESC-style temporal mapping and SPR/SNAFU-style spatial mapping are
+   both local searches over placements with a slowly-hardening
+   acceptance rule; they differ only in state, neighbourhood and cost,
+   which callers plug in here.  Cost is minimized. *)
+
+module Rng = Ocgra_util.Rng
+
+type config = {
+  initial_temp : float;
+  cooling : float; (* geometric factor per plateau, in (0, 1) *)
+  steps_per_temp : int;
+  min_temp : float;
+  max_steps : int;
+}
+
+let default_config =
+  { initial_temp = 10.0; cooling = 0.92; steps_per_temp = 64; min_temp = 1e-3; max_steps = 100_000 }
+
+type stats = { steps : int; accepted : int; best_step : int }
+
+let run ?(config = default_config) rng ~init ~neighbour ~cost =
+  let current = ref init in
+  let current_cost = ref (cost init) in
+  let best = ref init in
+  let best_cost = ref !current_cost in
+  let temp = ref config.initial_temp in
+  let steps = ref 0 and accepted = ref 0 and best_step = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    for _ = 1 to config.steps_per_temp do
+      if !steps < config.max_steps && !best_cost > 0.0 then begin
+        incr steps;
+        let candidate = neighbour rng !current in
+        let c = cost candidate in
+        let delta = c -. !current_cost in
+        let accept = delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp) in
+        if accept then begin
+          incr accepted;
+          current := candidate;
+          current_cost := c;
+          if c < !best_cost then begin
+            best := candidate;
+            best_cost := c;
+            best_step := !steps
+          end
+        end
+      end
+    done;
+    temp := !temp *. config.cooling;
+    if !temp < config.min_temp || !steps >= config.max_steps || !best_cost <= 0.0 then
+      finished := true
+  done;
+  (!best, !best_cost, { steps = !steps; accepted = !accepted; best_step = !best_step })

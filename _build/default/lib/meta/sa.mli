@@ -1,0 +1,23 @@
+(** Generic simulated annealing (geometric cooling, Metropolis
+    acceptance); cost is minimized, stopping early at cost 0. *)
+
+type config = {
+  initial_temp : float;
+  cooling : float;  (** geometric factor per plateau, in (0, 1) *)
+  steps_per_temp : int;
+  min_temp : float;
+  max_steps : int;
+}
+
+val default_config : config
+
+type stats = { steps : int; accepted : int; best_step : int }
+
+(** Returns (best state, best cost, stats). *)
+val run :
+  ?config:config ->
+  Ocgra_util.Rng.t ->
+  init:'s ->
+  neighbour:(Ocgra_util.Rng.t -> 's -> 's) ->
+  cost:('s -> float) ->
+  's * float * stats

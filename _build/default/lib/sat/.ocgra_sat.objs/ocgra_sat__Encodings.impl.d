@@ -1,0 +1,1 @@
+lib/sat/encodings.ml: Array List Solver

@@ -1,0 +1,20 @@
+(** Cardinality encodings over solver literals: the SAT mapper's
+    exactly-one (each op gets one slot) and at-most-k (RF capacity)
+    constraints. *)
+
+val at_most_one_pairwise : Solver.t -> Solver.lit list -> unit
+
+(** Sinz sequential encoding (linear, auxiliary variables). *)
+val at_most_one_sequential : Solver.t -> Solver.lit list -> unit
+
+(** Pairwise below [threshold] (default 6), sequential above. *)
+val at_most_one : ?threshold:int -> Solver.t -> Solver.lit list -> unit
+
+val at_least_one : Solver.t -> Solver.lit list -> unit
+val exactly_one : ?threshold:int -> Solver.t -> Solver.lit list -> unit
+
+(** Sequential-counter encoding. *)
+val at_most_k : Solver.t -> Solver.lit list -> int -> unit
+
+(** [implies s a bs] adds a -> (b1 or b2 or ...). *)
+val implies : Solver.t -> Solver.lit -> Solver.lit list -> unit

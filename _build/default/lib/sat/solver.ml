@@ -1,0 +1,523 @@
+(* CDCL SAT solver.
+
+   A conflict-driven clause-learning solver in the MiniSat lineage:
+   two-watched-literal propagation, VSIDS decision heap, first-UIP
+   conflict analysis with backjumping, phase saving and Luby restarts.
+   The SAT-based mapper ([17] in the survey) and the difference-logic
+   SMT layer are built on this solver.
+
+   Literal encoding: variable v (1-based) gives literals 2v (positive)
+   and 2v+1 (negative); [negate l = l lxor 1]. *)
+
+type lit = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+let lit_to_string l = Printf.sprintf "%s%d" (if is_pos l then "" else "-") (var_of l)
+
+type result = Sat | Unsat | Unknown
+
+(* Values: 0 = unassigned, 1 = true, 2 = false (for the variable). *)
+let v_undef = 0
+let v_true = 1
+let v_false = 2
+
+type clause = { lits : int array; mutable activity : float; learnt : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array; (* growable store *)
+  mutable n_clauses : int;
+  mutable watches : int list array; (* literal -> clause indices watching it *)
+  mutable assign : int array; (* var -> v_undef / v_true / v_false *)
+  mutable level : int array; (* var -> decision level *)
+  mutable reason : int array; (* var -> clause index or -1 *)
+  mutable activity : float array; (* var -> VSIDS score *)
+  mutable phase : bool array; (* var -> saved phase *)
+  mutable trail : int array; (* assigned literals in order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array; (* decision level -> trail position *)
+  mutable n_levels : int;
+  mutable qhead : int;
+  (* decision heap (max-heap on activity) *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable heap_pos : int array; (* var -> position in heap, -1 if absent *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool; (* false once trivially UNSAT *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  seen_buf : Buffer.t; (* placeholder to keep record non-empty groupings tidy *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 16 { lits = [||]; activity = 0.0; learnt = false };
+    n_clauses = 0;
+    watches = Array.make 16 [];
+    assign = Array.make 16 v_undef;
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = Array.make 16 0;
+    n_levels = 0;
+    qhead = 0;
+    heap = Array.make 16 0;
+    heap_size = 0;
+    heap_pos = Array.make 16 (-1);
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen_buf = Buffer.create 1;
+  }
+
+let n_vars t = t.nvars
+
+(* ---------- dynamic arrays ---------- *)
+
+let grow_int_array a n default =
+  let a' = Array.make n default in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let grow_float_array a n =
+  let a' = Array.make n 0.0 in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let grow_bool_array a n =
+  let a' = Array.make n false in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+(* ---------- decision heap (max-heap on var activity) ---------- *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t t.heap.(i) t.heap.(p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_less t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_less t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    if t.heap_size = Array.length t.heap then t.heap <- grow_int_array t.heap (2 * t.heap_size) 0;
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_up t (t.heap_size - 1)
+  end
+
+let heap_pop t =
+  if t.heap_size = 0 then -1
+  else begin
+    let v = t.heap.(0) in
+    t.heap_size <- t.heap_size - 1;
+    t.heap_pos.(v) <- -1;
+    if t.heap_size > 0 then begin
+      t.heap.(0) <- t.heap.(t.heap_size);
+      t.heap_pos.(t.heap.(0)) <- 0;
+      heap_down t 0
+    end;
+    v
+  end
+
+let heap_update t v = if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+(* ---------- variables ---------- *)
+
+let new_var t =
+  let v = t.nvars + 1 in
+  t.nvars <- v;
+  let needed_vars = v + 1 in
+  if needed_vars > Array.length t.assign then begin
+    let n = max (2 * Array.length t.assign) needed_vars in
+    t.assign <- grow_int_array t.assign n v_undef;
+    t.level <- grow_int_array t.level n 0;
+    t.reason <- grow_int_array t.reason n (-1);
+    t.activity <- grow_float_array t.activity n;
+    t.phase <- grow_bool_array t.phase n;
+    t.heap_pos <- grow_int_array t.heap_pos n (-1);
+    t.trail <- grow_int_array t.trail n 0
+  end;
+  let needed_lits = (2 * v) + 2 in
+  if needed_lits > Array.length t.watches then begin
+    let n = max (2 * Array.length t.watches) needed_lits in
+    let w = Array.make n [] in
+    Array.blit t.watches 0 w 0 (Array.length t.watches);
+    t.watches <- w
+  end;
+  t.assign.(v) <- v_undef;
+  t.heap_pos.(v) <- -1;
+  heap_insert t v;
+  v
+
+let new_vars t k = List.init k (fun _ -> new_var t)
+
+(* literal value: v_true/v_false/v_undef *)
+let lit_value t l =
+  let a = t.assign.(var_of l) in
+  if a = v_undef then v_undef else if is_pos l then a else 3 - a
+
+let value t v =
+  if v <= 0 || v > t.nvars then invalid_arg "Sat.value: bad variable";
+  t.assign.(v) = v_true
+
+(* ---------- clause store ---------- *)
+
+let push_clause t c =
+  if t.n_clauses = Array.length t.clauses then begin
+    let bigger = Array.make (2 * t.n_clauses) c in
+    Array.blit t.clauses 0 bigger 0 t.n_clauses;
+    t.clauses <- bigger
+  end;
+  t.clauses.(t.n_clauses) <- c;
+  t.n_clauses <- t.n_clauses + 1;
+  t.n_clauses - 1
+
+let watch t l ci = t.watches.(l) <- ci :: t.watches.(l)
+
+(* ---------- assignment / trail ---------- *)
+
+let decision_level t = t.n_levels
+
+let enqueue t l reason =
+  let v = var_of l in
+  t.assign.(v) <- (if is_pos l then v_true else v_false);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- is_pos l;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let new_decision_level t =
+  if t.n_levels = Array.length t.trail_lim then
+    t.trail_lim <- grow_int_array t.trail_lim (2 * t.n_levels) 0;
+  t.trail_lim.(t.n_levels) <- t.trail_size;
+  t.n_levels <- t.n_levels + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto bound do
+      let v = var_of t.trail.(i) in
+      t.assign.(v) <- v_undef;
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.n_levels <- lvl
+  end
+
+(* ---------- propagation ---------- *)
+
+(* Returns conflicting clause index, or -1. *)
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    let falsified = negate p in
+    let ws = t.watches.(falsified) in
+    t.watches.(falsified) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+          if !conflict >= 0 then
+            (* conflict found: keep remaining watches untouched *)
+            t.watches.(falsified) <- ci :: rest @ t.watches.(falsified)
+          else begin
+            let c = t.clauses.(ci) in
+            let lits = c.lits in
+            (* ensure falsified literal is at position 1 *)
+            if lits.(0) = falsified then begin
+              lits.(0) <- lits.(1);
+              lits.(1) <- falsified
+            end;
+            if lit_value t lits.(0) = v_true then begin
+              (* clause already satisfied: keep watching *)
+              t.watches.(falsified) <- ci :: t.watches.(falsified);
+              process rest
+            end
+            else begin
+              (* find a new literal to watch *)
+              let n = Array.length lits in
+              let rec find i = if i >= n then -1 else if lit_value t lits.(i) <> v_false then i else find (i + 1) in
+              let k = find 2 in
+              if k >= 0 then begin
+                lits.(1) <- lits.(k);
+                lits.(k) <- falsified;
+                watch t lits.(1) ci;
+                process rest
+              end
+              else if lit_value t lits.(0) = v_undef then begin
+                (* unit clause *)
+                t.watches.(falsified) <- ci :: t.watches.(falsified);
+                enqueue t lits.(0) ci;
+                process rest
+              end
+              else begin
+                (* conflict *)
+                t.watches.(falsified) <- ci :: t.watches.(falsified);
+                conflict := ci;
+                process rest
+              end
+            end
+          end
+    in
+    process ws
+  done;
+  !conflict
+
+(* ---------- activity ---------- *)
+
+let var_decay = 0.95
+let cla_decay = 0.999
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 1 to t.nvars do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_update t v
+
+let decay_activities t =
+  t.var_inc <- t.var_inc /. var_decay;
+  t.cla_inc <- t.cla_inc /. cla_decay
+
+(* ---------- conflict analysis (first UIP) ---------- *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let seen = Array.make (t.nvars + 1) false in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let index = ref (t.trail_size - 1) in
+  let backtrack_level = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c = t.clauses.(!confl) in
+    if c.learnt then c.activity <- c.activity +. t.cla_inc;
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length c.lits - 1 do
+      let q = c.lits.(i) in
+      let v = var_of q in
+      if (not seen.(v)) && t.level.(v) > 0 then begin
+        seen.(v) <- true;
+        bump_var t v;
+        if t.level.(v) >= decision_level t then incr counter
+        else begin
+          learnt := q :: !learnt;
+          backtrack_level := max !backtrack_level t.level.(v)
+        end
+      end
+    done;
+    (* pick next literal to look at from the trail *)
+    let rec skip i = if seen.(var_of t.trail.(i)) then i else skip (i - 1) in
+    index := skip !index;
+    let pl = t.trail.(!index) in
+    p := pl;
+    decr index;
+    decr counter;
+    seen.(var_of pl) <- false;
+    if !counter > 0 then begin
+      let r = t.reason.(var_of pl) in
+      (* a seen literal above level 0 on the trail inside the current
+         level always has a reason unless it is the decision; the
+         decision is reached exactly when counter = 0 *)
+      confl := r
+    end
+    else continue_loop := false
+  done;
+  let learnt_lits = Array.of_list (negate !p :: !learnt) in
+  (learnt_lits, !backtrack_level)
+
+(* ---------- clause addition ---------- *)
+
+let add_clause t lits =
+  if t.ok then begin
+    (* clauses are added at the root level; drop any leftover
+       assignment trail from a previous solve call *)
+    cancel_until t 0;
+    (* simplify: drop duplicates and false lits at level 0; detect taut *)
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.mem (negate l) lits) lits in
+    if not taut then begin
+      let lits =
+        List.filter
+          (fun l ->
+            List.iter (fun l -> if var_of l > t.nvars || var_of l < 1 then invalid_arg "Sat.add_clause: unknown variable") [ l ];
+            not (lit_value t l = v_false && t.level.(var_of l) = 0))
+          lits
+      in
+      let sat_already =
+        List.exists (fun l -> lit_value t l = v_true && t.level.(var_of l) = 0) lits
+      in
+      if not sat_already then
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+            if lit_value t l = v_undef then begin
+              enqueue t l (-1);
+              if propagate t >= 0 then t.ok <- false
+            end
+            else if lit_value t l = v_false then t.ok <- false
+        | _ ->
+            let arr = Array.of_list lits in
+            let ci = push_clause t { lits = arr; activity = 0.0; learnt = false } in
+            watch t arr.(0) ci;
+            watch t arr.(1) ci
+    end
+  end
+
+let add_learnt t lits =
+  match Array.length lits with
+  | 1 ->
+      enqueue t lits.(0) (-1)
+  | _ ->
+      (* position a literal of the backtrack level at index 1 *)
+      let max_i = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if t.level.(var_of lits.(i)) > t.level.(var_of lits.(!max_i)) then max_i := i
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!max_i);
+      lits.(!max_i) <- tmp;
+      let ci = push_clause t { lits; activity = t.cla_inc; learnt = true } in
+      watch t lits.(0) ci;
+      watch t lits.(1) ci;
+      enqueue t lits.(0) ci
+
+(* ---------- Luby restarts ---------- *)
+
+let luby x =
+  (* Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let rec find_size size seq = if size < x + 1 then find_size ((2 * size) + 1) (seq + 1) else (size, seq) in
+  let rec down x size seq =
+    if size - 1 = x then 1 lsl seq
+    else begin
+      let size = (size - 1) / 2 in
+      down (x mod size) size (seq - 1)
+    end
+  in
+  let size, seq = find_size 1 0 in
+  down x size seq
+
+(* ---------- main search ---------- *)
+
+let solve ?(max_conflicts = max_int) ?(assumptions = []) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    if propagate t >= 0 then begin
+      t.ok <- false;
+      Unsat
+    end
+    else begin
+      let start_conflicts = t.conflicts in
+      let result = ref Unknown in
+      let finished = ref false in
+      let restart_count = ref 0 in
+      while not !finished do
+        let budget = 100 * luby !restart_count in
+        incr restart_count;
+        let local_conflicts = ref 0 in
+        let restart_now = ref false in
+        while not (!finished || !restart_now) do
+          let confl = propagate t in
+          if confl >= 0 then begin
+            t.conflicts <- t.conflicts + 1;
+            incr local_conflicts;
+            if decision_level t = 0 then begin
+              t.ok <- false;
+              result := Unsat;
+              finished := true
+            end
+            else begin
+              let learnt, back_level = analyze t confl in
+              cancel_until t back_level;
+              add_learnt t learnt;
+              decay_activities t
+            end
+          end
+          else if t.conflicts - start_conflicts >= max_conflicts then begin
+            result := Unknown;
+            finished := true
+          end
+          else if !local_conflicts >= budget then restart_now := true
+          else if List.exists (fun a -> lit_value t a = v_false) assumptions then begin
+            (* an assumption is contradicted under the current prefix:
+               UNSAT under these assumptions (the instance itself stays ok) *)
+            result := Unsat;
+            finished := true
+          end
+          else begin
+            match List.find_opt (fun a -> lit_value t a = v_undef) assumptions with
+            | Some a ->
+                new_decision_level t;
+                enqueue t a (-1)
+            | None ->
+                let rec pick () =
+                  let v = heap_pop t in
+                  if v = -1 then -1 else if t.assign.(v) = v_undef then v else pick ()
+                in
+                let v = pick () in
+                if v = -1 then begin
+                  result := Sat;
+                  finished := true
+                end
+                else begin
+                  t.decisions <- t.decisions + 1;
+                  new_decision_level t;
+                  enqueue t (if t.phase.(v) then pos v else neg v) (-1)
+                end
+          end
+        done;
+        if !restart_now then cancel_until t 0
+      done;
+      ignore t.seen_buf;
+      !result
+    end
+  end
+
+let stats t = (t.conflicts, t.decisions, t.propagations)

@@ -1,0 +1,42 @@
+(** CDCL SAT solver in the MiniSat lineage: two-watched-literal
+    propagation, VSIDS decision heap, first-UIP learning with
+    backjumping, phase saving, Luby restarts.
+
+    Literals: variable [v] (1-based) gives literals [pos v] and
+    [neg v]; [negate] flips polarity. *)
+
+type t
+type lit = int
+
+val pos : int -> lit
+val neg : int -> lit
+val negate : lit -> lit
+val var_of : lit -> int
+val is_pos : lit -> bool
+val lit_to_string : lit -> string
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+val n_vars : t -> int
+
+(** Fresh variable (1-based index). *)
+val new_var : t -> int
+
+val new_vars : t -> int -> int list
+
+(** Adding a clause backtracks to the root level first; empty or
+    immediately-contradicted clauses make the instance permanently
+    UNSAT. Raises [Invalid_argument] on unknown variables. *)
+val add_clause : t -> lit list -> unit
+
+(** [solve ?max_conflicts ?assumptions t]: [Unknown] when the conflict
+    budget runs out; UNSAT under assumptions leaves the instance
+    usable. After [Sat], read the model with {!value}. *)
+val solve : ?max_conflicts:int -> ?assumptions:lit list -> t -> result
+
+(** Model value of a variable (meaningful after [Sat]). *)
+val value : t -> int -> bool
+
+(** (conflicts, decisions, propagations) since creation. *)
+val stats : t -> int * int * int

@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Dfg Machine Ocgra_dfg Op

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Dfg Eval Hashtbl List Mapping Ocgra_arch Ocgra_core Ocgra_dfg Op Option Printf Problem

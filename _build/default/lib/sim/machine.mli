@@ -1,0 +1,48 @@
+(** Cycle-accurate, tag-checked execution of a mapping.
+
+    Every value carries a (producer node, iteration) tag and every read
+    asserts the tag it expects, so routing or scheduling bugs the
+    static checker missed become {!Simulation_error}s rather than wrong
+    numbers.  Loop-carried reads of iterations before the first are
+    served from the kernel's initial values (standing in for the
+    prologue a peeled/predicated kernel would run). *)
+
+type error = { cycle : int; pe : int; message : string }
+
+exception Simulation_error of error
+
+type io = {
+  input : string -> int -> int;  (** stream name -> iteration -> value *)
+  memory : (string, int array) Hashtbl.t;
+}
+
+val io_of_streams : ?memory:(string * int array) list -> (string * int array) list -> io
+
+type stats = {
+  cycles : int;
+  op_instances : int;
+  route_instances : int;
+  rf_reads : int;
+  rf_writes : int;
+  pe_active_cycles : int;
+}
+
+type result = {
+  outputs : (string, (int * int) list) Hashtbl.t;  (** name -> (iteration, value) *)
+  stats : stats;
+}
+
+(** Output values in iteration order. *)
+val output_stream : result -> string -> int list
+
+(** Execute [iters] iterations of the mapped kernel. *)
+val run : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> io -> iters:int -> result
+
+(** Convenience: run and compare each named output stream. *)
+val verify :
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  io:io ->
+  iters:int ->
+  outputs_expected:(string * int list) list ->
+  bool

@@ -1,0 +1,1 @@
+lib/smt/smt.ml: Array Hashtbl List Ocgra_sat

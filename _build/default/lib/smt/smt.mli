@@ -1,0 +1,42 @@
+(** Lazy SMT for integer difference logic on the CDCL solver: atoms
+    [x - y <= c] are boolean proxies; each propositionally satisfying
+    assignment is checked with Bellman-Ford, and a negative cycle adds
+    a blocking clause over exactly the atoms on the cycle. *)
+
+type t
+type ivar = int
+
+type result = Sat_ | Unsat_ | Unknown_
+
+val create : unit -> t
+
+(** Fresh integer (theory) variable. *)
+val new_int : t -> string -> ivar
+
+(** Fresh propositional literal. *)
+val new_bool : t -> Ocgra_sat.Solver.lit
+
+(** Interned literal for the atom [x - y <= c]. *)
+val atom_le : t -> ivar -> ivar -> int -> Ocgra_sat.Solver.lit
+
+(** Literal for [x - y >= c]. *)
+val atom_ge : t -> ivar -> ivar -> int -> Ocgra_sat.Solver.lit
+
+(** Assert [x - y = c] (two unit clauses). *)
+val atom_eq_clauses : t -> ivar -> ivar -> int -> unit
+
+val add_clause : t -> Ocgra_sat.Solver.lit list -> unit
+
+(** [Unknown_] when the round or conflict budget runs out. *)
+val solve : ?max_rounds:int -> ?max_conflicts:int -> t -> result
+
+(** Integer model (shifted so the minimum is 0); only after [Sat_]. *)
+val int_value : t -> ivar -> int
+
+val bool_value : t -> Ocgra_sat.Solver.lit -> bool
+
+(** Lazy refinement rounds used by the last solve. *)
+val rounds : t -> int
+
+(** The underlying SAT instance, for adding structure directly. *)
+val sat_solver : t -> Ocgra_sat.Solver.t

@@ -1,0 +1,106 @@
+(* Resizable binary min-heap keyed by an integer priority.
+
+   Used by the Dijkstra-based router and by list scheduling, where
+   priorities are small non-negative integers (cycle counts, path
+   lengths).  Ties are broken by insertion order so that traversals are
+   deterministic. *)
+
+type 'a t = {
+  mutable prio : int array;
+  mutable seq : int array; (* insertion counter, for deterministic ties *)
+  mutable data : 'a array;
+  mutable size : int;
+  mutable counter : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  {
+    prio = Array.make capacity 0;
+    seq = Array.make capacity 0;
+    data = Array.make capacity dummy;
+    size = 0;
+    counter = 0;
+    dummy;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0
+
+let grow t =
+  let n = Array.length t.prio in
+  let n' = 2 * n in
+  let prio = Array.make n' 0 and seq = Array.make n' 0 and data = Array.make n' t.dummy in
+  Array.blit t.prio 0 prio 0 n;
+  Array.blit t.seq 0 seq 0 n;
+  Array.blit t.data 0 data 0 n;
+  t.prio <- prio;
+  t.seq <- seq;
+  t.data <- data
+
+let less t i j =
+  t.prio.(i) < t.prio.(j) || (t.prio.(i) = t.prio.(j) && t.seq.(i) < t.seq.(j))
+
+let swap t i j =
+  let p = t.prio.(i) and s = t.seq.(i) and d = t.data.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.seq.(i) <- t.seq.(j);
+  t.data.(i) <- t.data.(j);
+  t.prio.(j) <- p;
+  t.seq.(j) <- s;
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio x =
+  if t.size = Array.length t.prio then grow t;
+  t.prio.(t.size) <- prio;
+  t.seq.(t.size) <- t.counter;
+  t.data.(t.size) <- x;
+  t.counter <- t.counter + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let prio = t.prio.(0) and x = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.prio.(0) <- t.prio.(t.size);
+      t.seq.(0) <- t.seq.(t.size);
+      t.data.(0) <- t.data.(t.size)
+    end;
+    t.data.(t.size) <- t.dummy;
+    sift_down t 0;
+    Some (prio, x)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some px -> px
+  | None -> invalid_arg "Pqueue.pop_exn: empty"
+
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.data.(0))

@@ -1,0 +1,25 @@
+(** Resizable binary min-heap keyed by integer priority.
+
+    Ties break by insertion order, so traversals that use this queue
+    (the router, list scheduling) are deterministic. *)
+
+type 'a t
+
+(** [create dummy] makes an empty queue; [dummy] fills unused slots. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+(** [push q prio x] inserts [x] with priority [prio]. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** Smallest priority first; [None] when empty. *)
+val pop : 'a t -> (int * 'a) option
+
+(** Like {!pop} but raises [Invalid_argument] when empty. *)
+val pop_exn : 'a t -> int * 'a
+
+(** Minimum without removing it. *)
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,52 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the framework draws from this
+    generator, so each experiment is reproducible from one integer
+    seed. *)
+
+type t
+
+(** [create seed] builds an independent generator. *)
+val create : int -> t
+
+(** [split t] advances [t] and returns a statistically independent
+    child generator. *)
+val split : t -> t
+
+(** [copy t] snapshots the state (both copies then produce the same
+    stream). *)
+val copy : t -> t
+
+(** Raw 64-bit draw; advances the state. *)
+val next64 : t -> int64
+
+(** Non-negative int from the top bits. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in \[0, bound). Raises [Invalid_argument]
+    on non-positive bounds. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in \[0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty array / list. *)
+val choose : t -> 'a array -> 'a
+
+val choose_list : t -> 'a list -> 'a
+
+(** Fisher-Yates; [shuffle] copies, [shuffle_in_place] mutates. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample_indices t n k] draws [k] distinct indices from \[0, n). *)
+val sample_indices : t -> int -> int -> int array
+
+(** Standard normal via Box-Muller. *)
+val gaussian : t -> float

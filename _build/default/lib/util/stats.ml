@@ -1,0 +1,63 @@
+(* Descriptive statistics and ASCII histograms.
+
+   The Fig. 4 timeline and the ablation benches render their series with
+   [hbar_chart]; the empirical tables use the summary statistics. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) and hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty";
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty";
+  Array.fold_left max xs.(0) xs
+
+(* Horizontal bar chart: one labelled row per (label, value).
+   [width] is the length of the longest bar in characters. *)
+let hbar_chart ?(width = 50) ?(bar_char = '#') series =
+  let max_value = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, value) ->
+      let bar_len =
+        if max_value <= 0.0 then 0
+        else int_of_float (Float.round (value /. max_value *. float_of_int width))
+      in
+      Buffer.add_string buf (Table.pad Table.Left label_width label);
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.make bar_len bar_char);
+      Buffer.add_string buf (Printf.sprintf " %g\n" value))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Plain-text table rendering shared by the bench and reports. *)
+
+type align = Left | Right | Center
+
+(** [pad align width s] pads [s] to [width] characters. *)
+val pad : align -> int -> string -> string
+
+(** [render ~headers rows] lays the table out with per-column widths;
+    [aligns] defaults to left everywhere. Raises [Invalid_argument] on
+    ragged rows. *)
+val render : ?aligns:align array -> headers:string array -> string array list -> string
+
+(** [render] straight to stdout. *)
+val print : ?aligns:align array -> headers:string array -> string array list -> unit

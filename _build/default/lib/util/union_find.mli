@@ -1,0 +1,15 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+(** [create n] makes [n] singleton components 0..n-1. *)
+val create : int -> t
+
+(** Representative of an element's component. *)
+val find : t -> int -> int
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** Current number of components. *)
+val components : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Dfg List Ocgra_dfg Op Printf

@@ -1,0 +1,1 @@
+lib/workloads/random_dfg.ml: Array Dfg Hashtbl List Ocgra_dfg Ocgra_util Op Printf

@@ -1,0 +1,1 @@
+lib/workloads/random_dfg.mli: Ocgra_dfg Ocgra_util

@@ -1,0 +1,70 @@
+(* Layered random DFG generator: scalability experiments sweep over
+   synthetic kernels with controlled size, fan-in, and recurrence
+   density, the standard methodology when published benchmark DFGs are
+   not available. *)
+
+open Ocgra_dfg
+module Rng = Ocgra_util.Rng
+
+type params = {
+  nodes : int;
+  layers : int;
+  fanin : int; (* max operands drawn from earlier layers *)
+  carried_probability : float; (* chance a node feeds a recurrence *)
+  memory_ops : bool;
+}
+
+let default = { nodes = 12; layers = 4; fanin = 2; carried_probability = 0.2; memory_ops = false }
+
+let arith_ops = [| Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Min; Op.Max |]
+
+let generate ?(params = default) rng =
+  let g = Dfg.create () in
+  let n_inputs = max 1 (params.nodes / 6) in
+  let inputs = List.init n_inputs (fun i -> Dfg.input g (Printf.sprintf "in%d" i)) in
+  let pool = ref (Array.of_list inputs) in
+  let all_nodes = ref inputs in
+  let per_layer = max 1 ((params.nodes - n_inputs) / max 1 params.layers) in
+  for _layer = 1 to params.layers do
+    let fresh = ref [] in
+    for _ = 1 to per_layer do
+      let op = Rng.choose rng arith_ops in
+      let a = Rng.choose rng !pool in
+      let b = Rng.choose rng !pool in
+      let v = Dfg.binop g op a b in
+      fresh := v :: !fresh;
+      all_nodes := v :: !all_nodes
+    done;
+    pool := Array.of_list (!fresh @ Array.to_list !pool)
+  done;
+  (* recurrences: v feeds itself (through an add) one iteration later *)
+  let candidates =
+    List.filter (fun _v -> Rng.float rng 1.0 < params.carried_probability) !all_nodes
+  in
+  List.iteri
+    (fun i v ->
+      let acc = Dfg.add ~name:(Printf.sprintf "rec%d" i) g (Op.Binop Op.Add) in
+      Dfg.add_edge g ~src:v ~dst:acc ~port:0;
+      Dfg.add_edge g ~src:acc ~dst:acc ~port:1 ~dist:1;
+      all_nodes := acc :: !all_nodes)
+    candidates;
+  (* outputs: everything whose only consumer is itself (accumulators)
+     or that has no consumer at all; guarantee at least one output *)
+  let has_other_consumer = Hashtbl.create 32 in
+  Dfg.iter_edges
+    (fun (e : Dfg.edge) -> if e.src <> e.dst then Hashtbl.replace has_other_consumer e.src ())
+    g;
+  let sinks =
+    List.filter
+      (fun v ->
+        (not (Hashtbl.mem has_other_consumer v))
+        && match Dfg.op g v with Op.Output _ | Op.Input _ -> false | _ -> true)
+      !all_nodes
+  in
+  let sinks = match (sinks, !all_nodes) with [], v :: _ -> [ v ] | s, _ -> s in
+  List.iteri (fun i v -> ignore (Dfg.output g (Printf.sprintf "out%d" i) v)) sinks;
+  let streams n =
+    List.init n_inputs (fun i ->
+        (Printf.sprintf "in%d" i, Array.init n (fun k -> ((k * (i + 3)) mod 17) - 8)))
+  in
+  (g, streams)

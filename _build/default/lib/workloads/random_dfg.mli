@@ -1,0 +1,17 @@
+(** Layered random DFG generator for scalability experiments:
+    controlled size, fan-in and recurrence density. *)
+
+type params = {
+  nodes : int;
+  layers : int;
+  fanin : int;
+  carried_probability : float;  (** chance a node feeds a recurrence *)
+  memory_ops : bool;
+}
+
+val default : params
+
+(** Returns the DFG and a stream builder (trip count -> named input
+    streams). Guaranteed valid, dist-0-acyclic, with at least one
+    output. *)
+val generate : ?params:params -> Ocgra_util.Rng.t -> Ocgra_dfg.Dfg.t * (int -> (string * int array) list)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Cgra Context Fun List Ocgra_arch Ocgra_dfg Ocgra_util Pe QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_biblio.ml: Alcotest Dataset List Ocgra_biblio String Table1 Timeline

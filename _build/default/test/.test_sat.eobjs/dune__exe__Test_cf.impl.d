@@ -1,0 +1,1 @@
+test/test_cf.ml: Alcotest Array Hashtbl List Ocgra_cf Ocgra_dfg

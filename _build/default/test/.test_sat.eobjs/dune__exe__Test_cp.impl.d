@@ -1,0 +1,1 @@
+test/test_cp.ml: Alcotest Array Fun List Ocgra_cp Ocgra_util Printf QCheck QCheck_alcotest

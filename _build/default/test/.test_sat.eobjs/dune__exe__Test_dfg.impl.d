@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Cdfg Dfg Eval Hashtbl List Ocgra_dfg Ocgra_graph Ocgra_util Ocgra_workloads Op Prog Prog_ast QCheck QCheck_alcotest Transform

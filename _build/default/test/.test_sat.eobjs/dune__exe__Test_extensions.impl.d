@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Check List Mapping Ocgra_arch Ocgra_cf Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads Pathfinder Problem

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Ocgra_graph Ocgra_util QCheck QCheck_alcotest String

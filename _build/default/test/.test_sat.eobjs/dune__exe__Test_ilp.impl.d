@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Float List Ocgra_ilp Ocgra_util Printf QCheck QCheck_alcotest

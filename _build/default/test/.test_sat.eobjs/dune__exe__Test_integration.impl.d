@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl List Ocgra_arch Ocgra_cf Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads

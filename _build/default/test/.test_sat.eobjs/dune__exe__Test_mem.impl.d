@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array List Ocgra_arch Ocgra_core Ocgra_mappers Ocgra_mem Ocgra_util Ocgra_workloads Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Array Ocgra_meta Ocgra_util

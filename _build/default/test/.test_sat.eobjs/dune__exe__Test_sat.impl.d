@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List Ocgra_sat Ocgra_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Mapping Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads Printf Problem

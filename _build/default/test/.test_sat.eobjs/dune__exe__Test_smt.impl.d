@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array List Ocgra_sat Ocgra_smt Ocgra_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Hashtbl List Ocgra_util QCheck QCheck_alcotest String

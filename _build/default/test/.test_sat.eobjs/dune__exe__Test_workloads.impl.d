@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl List Ocgra_dfg Ocgra_util Ocgra_workloads Printf QCheck QCheck_alcotest

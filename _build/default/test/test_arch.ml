@@ -1,0 +1,189 @@
+(* Architecture model tests: topologies, capability queries, hop
+   tables, and the configuration-word encoding. *)
+
+open Ocgra_arch
+module Op = Ocgra_dfg.Op
+module Rng = Ocgra_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- topologies ---------- *)
+
+let test_mesh_neighbours () =
+  (* 3x3 mesh: corner 2 neighbours, edge 3, centre 4 *)
+  let n pe = List.length (Topology.neighbours Topology.Mesh ~rows:3 ~cols:3 pe) in
+  checki "corner" 2 (n 0);
+  checki "edge" 3 (n 1);
+  checki "centre" 4 (n 4)
+
+let test_torus_regular () =
+  for pe = 0 to 15 do
+    checki "torus degree 4" 4 (List.length (Topology.neighbours Topology.Torus ~rows:4 ~cols:4 pe))
+  done
+
+let test_diagonal_centre () =
+  checki "8 neighbours" 8 (List.length (Topology.neighbours Topology.Diagonal ~rows:3 ~cols:3 4))
+
+let test_full_topology () =
+  checki "all others" 15 (List.length (Topology.neighbours Topology.Full ~rows:4 ~cols:4 3))
+
+let qcheck_topology_symmetric =
+  QCheck.Test.make ~name:"all topologies are symmetric" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (rows, cols) ->
+      List.for_all
+        (fun topo ->
+          let npe = rows * cols in
+          List.for_all
+            (fun p ->
+              List.for_all
+                (fun q -> List.mem p (Topology.neighbours topo ~rows ~cols q))
+                (Topology.neighbours topo ~rows ~cols p))
+            (List.init npe Fun.id))
+        Topology.all)
+
+let test_topology_string_roundtrip () =
+  List.iter
+    (fun t ->
+      checkb "roundtrip" true (Topology.of_string (Topology.to_string t) = t))
+    Topology.all
+
+(* ---------- cgra ---------- *)
+
+let test_hop_table_is_manhattan_on_mesh () =
+  let cgra = Cgra.uniform ~rows:4 ~cols:4 () in
+  let hop = Cgra.hop_table cgra in
+  for i = 0 to 15 do
+    for j = 0 to 15 do
+      let r1, c1 = Cgra.coords cgra i and r2, c2 = Cgra.coords cgra j in
+      checki "manhattan" (abs (r1 - r2) + abs (c1 - c2)) hop.(i).(j)
+    done
+  done
+
+let test_heterogeneous_capabilities () =
+  let cgra = Cgra.adres_like ~rows:4 ~cols:4 () in
+  (* loads only in column 0 *)
+  checkb "col0 mem" true (Cgra.supports cgra 0 (Op.Load "a"));
+  checkb "col1 no mem" false (Cgra.supports cgra 1 (Op.Load "a"));
+  (* muls on even cells *)
+  checkb "even mul" true (Cgra.supports cgra 2 (Op.Binop Op.Mul));
+  checkb "odd no mul" false (Cgra.supports cgra 1 (Op.Binop Op.Mul));
+  (* everyone does alu and routing *)
+  checkb "alu" true (Cgra.supports cgra 7 (Op.Binop Op.Add));
+  checkb "route" true (Cgra.supports cgra 7 Op.Route);
+  checki "mem PEs" 4 (List.length (Cgra.capable_pes cgra (Op.Load "x")))
+
+let qcheck_hop_table_metric =
+  QCheck.Test.make ~name:"hop table is a metric (triangle inequality)" ~count:60
+    QCheck.(pair (int_range 2 4) (int_range 0 4))
+    (fun (n, topo_idx) ->
+      let topo = List.nth Topology.all topo_idx in
+      let cgra = Cgra.uniform ~topology:topo ~rows:n ~cols:n () in
+      let hop = Cgra.hop_table cgra in
+      let npe = n * n in
+      let ok = ref true in
+      for i = 0 to npe - 1 do
+        if hop.(i).(i) <> 0 then ok := false;
+        for j = 0 to npe - 1 do
+          if hop.(i).(j) <> hop.(j).(i) then ok := false;
+          for k = 0 to npe - 1 do
+            if hop.(i).(j) > hop.(i).(k) + hop.(k).(j) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let test_coords_index_roundtrip () =
+  let cgra = Cgra.uniform ~rows:3 ~cols:5 () in
+  for pe = 0 to 14 do
+    let r, c = Cgra.coords cgra pe in
+    checki "roundtrip" pe (Cgra.index cgra ~row:r ~col:c)
+  done
+
+(* ---------- context words ---------- *)
+
+let random_slot rng =
+  let srcs =
+    Array.init 3 (fun _ ->
+        match Rng.int rng 5 with
+        | 0 -> Context.Src_none
+        | 1 -> Context.Src_self
+        | 2 -> Context.Src_const
+        | 3 -> Context.Src_dir (Rng.int rng 12)
+        | _ -> Context.Src_rf (Rng.int rng 16))
+  in
+  {
+    Context.opcode = Rng.int rng 26;
+    srcs;
+    const = Rng.int_in rng (-8_000_000) 8_000_000;
+    rf_we = Rng.bool rng;
+    rf_waddr = Rng.int rng 16;
+  }
+
+let qcheck_context_roundtrip =
+  QCheck.Test.make ~name:"configuration word encode/decode roundtrip" ~count:500
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 17) in
+      let s = random_slot rng in
+      let s' = Context.decode_slot (Context.encode_slot s) in
+      s' = s)
+
+let test_opcode_coverage () =
+  (* every op kind has a distinct opcode and a printable name *)
+  let ops =
+    [
+      Op.Nop; Op.Const 3; Op.Input "x"; Op.Output "y"; Op.Not; Op.Neg; Op.Select;
+      Op.Load "a"; Op.Store "a"; Op.Route; Op.Binop Op.Add; Op.Binop Op.Mul; Op.Binop Op.Ne;
+    ]
+  in
+  let codes = List.map Context.opcode_of_op ops in
+  checki "distinct" (List.length codes) (List.length (List.sort_uniq compare codes));
+  List.iter (fun c -> checkb "named" true (String.length (Context.opcode_name c) > 0)) codes
+
+let test_dict_interning () =
+  let d = Context.Dict.create () in
+  let a = Context.Dict.intern d "alpha" in
+  let b = Context.Dict.intern d "beta" in
+  let a' = Context.Dict.intern d "alpha" in
+  checki "stable" a a';
+  checkb "distinct" true (a <> b);
+  Alcotest.(check string) "name" "beta" (Context.Dict.name d b)
+
+(* ---------- pe ---------- *)
+
+let test_pe_capabilities () =
+  let pe = Pe.alu_only in
+  checkb "alu" true (Pe.supports pe (Op.Binop Op.Add));
+  checkb "no mul" false (Pe.supports pe (Op.Binop Op.Mul));
+  checkb "no const without field" false (Pe.supports (Pe.make ~has_const:false [ Op.F_alu ]) (Op.Const 1));
+  checkb "route always" true (Pe.supports pe Op.Route)
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "mesh degrees" `Quick test_mesh_neighbours;
+          Alcotest.test_case "torus regular" `Quick test_torus_regular;
+          Alcotest.test_case "diagonal centre" `Quick test_diagonal_centre;
+          Alcotest.test_case "full" `Quick test_full_topology;
+          QCheck_alcotest.to_alcotest qcheck_topology_symmetric;
+          Alcotest.test_case "string roundtrip" `Quick test_topology_string_roundtrip;
+        ] );
+      ( "cgra",
+        [
+          Alcotest.test_case "mesh hop table" `Quick test_hop_table_is_manhattan_on_mesh;
+          Alcotest.test_case "heterogeneous" `Quick test_heterogeneous_capabilities;
+          Alcotest.test_case "coords roundtrip" `Quick test_coords_index_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_hop_table_metric;
+        ] );
+      ( "context",
+        [
+          QCheck_alcotest.to_alcotest qcheck_context_roundtrip;
+          Alcotest.test_case "opcodes" `Quick test_opcode_coverage;
+          Alcotest.test_case "dict" `Quick test_dict_interning;
+        ] );
+      ("pe", [ Alcotest.test_case "capabilities" `Quick test_pe_capabilities ]);
+    ]

@@ -1,0 +1,193 @@
+(* Constraint solver tests: n-queens counts, constraint filtering,
+   optimization, and brute-force agreement on random binary CSPs. *)
+
+module Cp = Ocgra_cp.Solver
+module Rng = Ocgra_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- n-queens ---------- *)
+
+let queens n =
+  let cp = Cp.create () in
+  let cols = Array.init n (fun i -> Cp.range_var ~name:(Printf.sprintf "q%d" i) cp 0 (n - 1)) in
+  Cp.all_different cp (Array.to_list cols);
+  (* diagonals via offset variables: q_i + i and q_i - i + n all different *)
+  let diag1 = Array.init n (fun _ -> Cp.range_var cp 0 (2 * n)) in
+  let diag2 = Array.init n (fun _ -> Cp.range_var cp 0 (2 * n)) in
+  Array.iteri (fun i d -> Cp.eq_offset cp d cols.(i) i) diag1;
+  Array.iteri (fun i d -> Cp.eq_offset cp d cols.(i) (n - i)) diag2;
+  Cp.all_different cp (Array.to_list diag1);
+  Cp.all_different cp (Array.to_list diag2);
+  cp
+
+let test_queens_counts () =
+  checki "4-queens" 2 (Cp.count_solutions (queens 4));
+  checki "5-queens" 10 (Cp.count_solutions (queens 5));
+  checki "6-queens" 4 (Cp.count_solutions (queens 6))
+
+let test_queens_solution_valid () =
+  match Cp.solve (queens 8) with
+  | None -> Alcotest.fail "8-queens should be satisfiable"
+  | Some sol ->
+      let q = Array.sub sol 0 8 in
+      for i = 0 to 7 do
+        for j = i + 1 to 7 do
+          checkb "no attack" true (q.(i) <> q.(j) && abs (q.(i) - q.(j)) <> j - i)
+        done
+      done
+
+(* ---------- individual constraints ---------- *)
+
+let test_not_equal_propagation () =
+  let cp = Cp.create () in
+  let a = Cp.new_var cp [ 3 ] and b = Cp.range_var cp 2 4 in
+  Cp.not_equal cp a b;
+  match Cp.solve cp with
+  | None -> Alcotest.fail "satisfiable"
+  | Some sol -> checkb "b avoids 3" true (sol.(b) <> 3)
+
+let test_linear_le_bounds () =
+  let cp = Cp.create () in
+  let x = Cp.range_var cp 0 9 and y = Cp.range_var cp 0 9 in
+  (* 2x + 3y <= 6 and x + y >= 2 (as -x -y <= -2) *)
+  Cp.linear_le cp [ (2, x); (3, y) ] 6;
+  Cp.linear_le cp [ (-1, x); (-1, y) ] (-2);
+  let count = Cp.count_solutions cp in
+  (* enumerate by hand: (0,2) (2,0) (3,0) (1,... 2+3y<=4 -> y=0 no (sum<2 fails for (1,0)), y= (1,1): 2+3=5<=6 ok sum 2 ok *)
+  let expected =
+    List.length
+      (List.concat_map
+         (fun x ->
+           List.filter (fun y -> (2 * x) + (3 * y) <= 6 && x + y >= 2) (List.init 10 Fun.id))
+         (List.init 10 Fun.id))
+  in
+  checki "solution count" expected count
+
+let test_linear_eq () =
+  let cp = Cp.create () in
+  let x = Cp.range_var cp 0 5 and y = Cp.range_var cp 0 5 in
+  Cp.linear_eq cp [ (1, x); (1, y) ] 5;
+  checki "x+y=5 over 0..5" 6 (Cp.count_solutions cp)
+
+let test_table_constraint () =
+  let cp = Cp.create () in
+  let x = Cp.range_var cp 0 3 and y = Cp.range_var cp 0 3 in
+  Cp.table cp [ x; y ] [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] ];
+  checki "table rows" 3 (Cp.count_solutions cp);
+  (* add x >= 1: two rows left *)
+  Cp.linear_le cp [ (-1, x) ] (-1);
+  checki "filtered" 2 (Cp.count_solutions cp)
+
+let test_eq_offset_chain () =
+  let cp = Cp.create () in
+  let x = Cp.range_var cp 0 10 and y = Cp.range_var cp 0 10 and z = Cp.range_var cp 0 10 in
+  Cp.eq_offset cp y x 2;
+  Cp.eq_offset cp z y 3;
+  Cp.linear_le cp [ (1, x) ] 0;
+  (* x <= 0 -> x=0, y=2, z=5 *)
+  match Cp.solve cp with
+  | Some sol ->
+      checki "x" 0 sol.(x);
+      checki "y" 2 sol.(y);
+      checki "z" 5 sol.(z)
+  | None -> Alcotest.fail "satisfiable"
+
+let test_all_different_pigeonhole () =
+  let cp = Cp.create () in
+  let vars = List.init 4 (fun _ -> Cp.range_var cp 0 2) in
+  Cp.all_different cp vars;
+  checkb "4 pigeons, 3 holes" true (Cp.solve cp = None)
+
+let test_minimize () =
+  let cp = Cp.create () in
+  let x = Cp.range_var cp 0 9 and y = Cp.range_var cp 0 9 in
+  (* x + y >= 7; minimize x *)
+  Cp.linear_le cp [ (-1, x); (-1, y) ] (-7);
+  (match Cp.minimize cp x with
+  | Some (best, sol) ->
+      checki "min x" 0 best;
+      checkb "constraint holds" true (sol.(x) + sol.(y) >= 7)
+  | None -> Alcotest.fail "feasible");
+  (* now force x >= 3 and minimize again *)
+  Cp.linear_le cp [ (-1, x) ] (-3);
+  match Cp.minimize cp x with
+  | Some (best, _) -> checki "min x with bound" 3 best
+  | None -> Alcotest.fail "feasible"
+
+(* ---------- random binary CSPs vs brute force ---------- *)
+
+let qcheck_random_csp =
+  QCheck.Test.make ~name:"random binary CSPs agree with brute force" ~count:150
+    QCheck.(pair small_int (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed * 7) in
+      let dom = 1 + Rng.int rng 4 in
+      (* random forbidden pairs between random variable pairs *)
+      let constraints =
+        List.init (1 + Rng.int rng 6) (fun _ ->
+            let a = Rng.int rng n and b = Rng.int rng n in
+            if a = b then None
+            else
+              Some
+                ( a,
+                  b,
+                  List.filter
+                    (fun (_, _) -> true)
+                    (List.concat_map
+                       (fun x ->
+                         List.filter_map
+                           (fun y -> if Rng.float rng 1.0 < 0.5 then Some (x, y) else None)
+                           (List.init dom Fun.id))
+                       (List.init dom Fun.id)) ))
+        |> List.filter_map Fun.id
+      in
+      let cp = Cp.create () in
+      let vars = Array.init n (fun _ -> Cp.range_var cp 0 (dom - 1)) in
+      List.iter
+        (fun (a, b, allowed) ->
+          Cp.table cp [ vars.(a); vars.(b) ] (List.map (fun (x, y) -> [| x; y |]) allowed))
+        constraints;
+      (* brute force count *)
+      let rec brute assignment i =
+        if i = n then begin
+          let ok =
+            List.for_all
+              (fun (a, b, allowed) -> List.mem (assignment.(a), assignment.(b)) allowed)
+              constraints
+          in
+          if ok then 1 else 0
+        end
+        else begin
+          let total = ref 0 in
+          for v = 0 to dom - 1 do
+            assignment.(i) <- v;
+            total := !total + brute assignment (i + 1)
+          done;
+          !total
+        end
+      in
+      let expected = brute (Array.make n 0) 0 in
+      Cp.count_solutions cp = expected)
+
+let () =
+  Alcotest.run "cp"
+    [
+      ( "queens",
+        [
+          Alcotest.test_case "solution counts" `Quick test_queens_counts;
+          Alcotest.test_case "8-queens valid" `Quick test_queens_solution_valid;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "not_equal" `Quick test_not_equal_propagation;
+          Alcotest.test_case "linear_le" `Quick test_linear_le_bounds;
+          Alcotest.test_case "linear_eq" `Quick test_linear_eq;
+          Alcotest.test_case "table" `Quick test_table_constraint;
+          Alcotest.test_case "eq_offset" `Quick test_eq_offset_chain;
+          Alcotest.test_case "all_different pigeonhole" `Quick test_all_different_pigeonhole;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_random_csp ]);
+    ]

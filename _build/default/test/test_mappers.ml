@@ -1,0 +1,153 @@
+(* Mapper tests: the central framework invariant — every mapping any
+   registered mapper produces passes the independent checker — plus
+   per-technique behaviour checks.  Slow exact mappers run on small
+   kernels only. *)
+
+open Ocgra_core
+module Kernels = Ocgra_workloads.Kernels
+module Rng = Ocgra_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+
+let cgra44 = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 ()
+let cgra_diag = Ocgra_arch.Cgra.uniform ~topology:Ocgra_arch.Topology.Diagonal ~rows:4 ~cols:4 ()
+
+let problem_for (mapper : Mapper.t) (k : Kernels.t) =
+  if mapper.scope = Taxonomy.Spatial_mapping then
+    Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra:cgra_diag ()
+  else Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 ~max_ii:12 ()
+
+(* mappers cheap enough to run on the whole suite in tests *)
+let fast = [ "greedy-spatial"; "graph-drawing"; "sa-spatial"; "genmap-ga"; "modulo-greedy";
+             "edge-centric"; "branch-and-bound"; "smt"; "iso-binding"; "qea-binding";
+             "list-scheduling"; "ilp-schedule"; "dresc-sa" ]
+
+(* THE invariant: raw mapper output (before Mapper.run's demotion)
+   always passes the independent validator *)
+let test_every_mapper_output_validates () =
+  List.iter
+    (fun (mapper : Mapper.t) ->
+      let kernels =
+        if List.mem mapper.name fast then Kernels.small_suite ()
+        else [ Kernels.dot_product (); Kernels.horner () ]
+      in
+      List.iter
+        (fun (k : Kernels.t) ->
+          let p = problem_for mapper k in
+          let rng = Rng.create 7 in
+          let outcome = mapper.map p rng in
+          match outcome.Mapper.mapping with
+          | None -> () (* failing to map is allowed; lying is not *)
+          | Some m ->
+              let violations = Check.validate p m in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s on %s is valid" mapper.name k.name)
+                [] violations)
+        kernels)
+    Ocgra_mappers.Registry.all
+
+(* temporal mappers should all map the easy kernels *)
+let test_easy_kernels_map () =
+  let easy = [ Kernels.dot_product (); Kernels.horner () ] in
+  List.iter
+    (fun name ->
+      let mapper = Ocgra_mappers.Registry.find name in
+      List.iter
+        (fun (k : Kernels.t) ->
+          let o = Mapper.run mapper ~seed:7 (problem_for mapper k) in
+          checkb (Printf.sprintf "%s maps %s" name k.name) true (o.Mapper.mapping <> None))
+        easy)
+    [ "modulo-greedy"; "edge-centric"; "dresc-sa"; "branch-and-bound"; "sat"; "cp";
+      "iso-binding"; "list-scheduling"; "qea-binding"; "ilp-schedule" ]
+
+(* achieved II never beats the MII lower bound *)
+let test_ii_respects_mii () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      let mii = Mii.mii k.dfg cgra44 in
+      let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 ~max_ii:16 () in
+      let rng = Rng.create 5 in
+      match Ocgra_mappers.Constructive.map p rng with
+      | Some m, _, _ -> checkb (k.name ^ " ii >= mii") true (m.Mapping.ii >= mii)
+      | None, _, _ -> ())
+    (Kernels.full_suite ())
+
+(* exact methods prove optimality on the dot product *)
+let test_exactness_claims () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 ~max_ii:8 () in
+  let o = Mapper.run (Ocgra_mappers.Registry.find "sat") ~seed:3 p in
+  (match o.Mapper.mapping with
+  | Some m ->
+      checkb "sat achieves mii" true (m.Mapping.ii = Mii.mii k.dfg cgra44);
+      checkb "sat proves optimal" true o.Mapper.proven_optimal
+  | None -> Alcotest.fail "sat should map the dot product")
+
+(* the SAT mapper refutes impossible IIs: horner at max_ii 1 *)
+let test_sat_refutes_infeasible () =
+  let k = Kernels.horner () in
+  (* RecMII = 2, so max_ii = 1 leaves nothing feasible *)
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 ~max_ii:1 () in
+  let o = Mapper.run (Ocgra_mappers.Registry.find "sat") ~seed:3 p in
+  checkb "unsat below recmii" true (o.Mapper.mapping = None)
+
+(* spatial mapping is refused/impossible for tight recurrences *)
+let test_spatial_recurrence_fails () =
+  let k = Kernels.horner () in
+  let p = Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra:cgra_diag () in
+  let rng = Rng.create 3 in
+  let m, _, _ = Ocgra_mappers.Constructive.map ~restarts:6 p rng in
+  checkb "horner spatial impossible (RecMII 2)" true (m = None)
+
+(* deterministic given the seed *)
+let test_seed_determinism () =
+  let k = Kernels.fir4 () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let run () =
+    match Ocgra_mappers.Constructive.map p (Rng.create 123) with
+    | Some m, _, _ -> Some (m.Mapping.ii, m.Mapping.binding)
+    | None, _, _ -> None
+  in
+  checkb "same result" true (run () = run ())
+
+(* decoupled scheduling: the list scheduler respects resources & deps *)
+let test_list_schedule_properties () =
+  let k = Kernels.fir4 () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let rng = Rng.create 3 in
+  match Ocgra_mappers.Sched.modulo_list_schedule p rng ~ii:2 with
+  | None -> Alcotest.fail "fir4 schedules at II=2"
+  | Some times ->
+      (* dependences respected *)
+      Ocgra_dfg.Dfg.iter_edges
+        (fun (e : Ocgra_dfg.Dfg.edge) ->
+          if e.src <> e.dst then
+            checkb "dep" true
+              (times.(e.dst) + (e.dist * 2)
+              >= times.(e.src) + Ocgra_dfg.Op.latency (Ocgra_dfg.Dfg.op k.dfg e.src)))
+        k.dfg;
+      (* per-slot class capacity *)
+      let count = Hashtbl.create 8 in
+      Array.iteri
+        (fun v t ->
+          let key = (Ocgra_dfg.Op.func_class (Ocgra_dfg.Dfg.op k.dfg v), t mod 2) in
+          Hashtbl.replace count key (1 + Option.value ~default:0 (Hashtbl.find_opt count key)))
+        times;
+      Hashtbl.iter (fun _ c -> checkb "capacity" true (c <= 16)) count
+
+let () =
+  Alcotest.run "mappers"
+    [
+      ( "validity",
+        [ Alcotest.test_case "every mapper output validates" `Slow test_every_mapper_output_validates ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "easy kernels map" `Slow test_easy_kernels_map;
+          Alcotest.test_case "ii >= mii" `Quick test_ii_respects_mii;
+          Alcotest.test_case "exactness claims" `Quick test_exactness_claims;
+          Alcotest.test_case "sat refutes infeasible" `Quick test_sat_refutes_infeasible;
+          Alcotest.test_case "spatial recurrence fails" `Quick test_spatial_recurrence_fails;
+          Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+          Alcotest.test_case "list scheduler properties" `Quick test_list_schedule_properties;
+        ] );
+    ]

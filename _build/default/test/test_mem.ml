@@ -1,0 +1,141 @@
+(* Data-mapping tests: bank model, conflict-aware placement, register
+   allocation. *)
+
+module Bank = Ocgra_mem.Bank
+module Placement = Ocgra_mem.Placement
+module Regalloc = Ocgra_mem.Regalloc
+module Kernels = Ocgra_workloads.Kernels
+module Rng = Ocgra_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------- banks ---------- *)
+
+let test_bank_of () =
+  let t = Bank.make 4 in
+  checki "addr 0" 0 (Bank.bank_of t 0);
+  checki "addr 5" 1 (Bank.bank_of t 5);
+  let blocked = Bank.make ~interleave:16 2 in
+  checki "block low" 0 (Bank.bank_of blocked 7);
+  checki "block high" 1 (Bank.bank_of blocked 17)
+
+let test_cycle_conflicts () =
+  let t = Bank.make 2 in
+  checki "no accesses" 0 (Bank.cycle_conflicts t []);
+  checki "distinct banks" 0 (Bank.cycle_conflicts t [ 0; 1 ]);
+  checki "same bank pair" 1 (Bank.cycle_conflicts t [ 0; 2 ]);
+  checki "three on one bank" 2 (Bank.cycle_conflicts t [ 0; 2; 4 ])
+
+let test_conflicts_monotone_in_banks () =
+  let accesses =
+    [
+      (0, { Bank.array_base = 0; stride = 1; offset = 0 });
+      (0, { Bank.array_base = 64; stride = 1; offset = 0 });
+      (0, { Bank.array_base = 128; stride = 2; offset = 1 });
+    ]
+  in
+  let results = Bank.conflicts_by_banks ~bank_counts:[ 1; 2; 4; 8 ] ~ii:1 ~iters:32 accesses in
+  let values = List.map snd results in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b && nonincreasing rest
+    | _ -> true
+  in
+  checkb "more banks never hurt" true (nonincreasing values);
+  checki "single bank worst" (2 * 32) (List.hd values)
+
+(* ---------- placement ---------- *)
+
+let arrays =
+  [
+    { Placement.name = "a"; size = 8; slots = [ 0 ] };
+    { Placement.name = "b"; size = 8; slots = [ 0 ] };
+    { Placement.name = "c"; size = 8; slots = [ 1 ] };
+    { Placement.name = "d"; size = 8; slots = [ 0; 1 ] };
+  ]
+
+let test_greedy_placement_avoids_conflicts () =
+  let assignment = Placement.greedy ~banks:2 arrays in
+  (* a and b share slot 0: they must not share a bank when 2 banks exist *)
+  checkb "a,b split" true (List.assoc "a" assignment <> List.assoc "b" assignment)
+
+let test_ilp_at_least_as_good_as_greedy () =
+  let greedy = Placement.greedy ~banks:2 arrays in
+  match Placement.ilp ~banks:2 arrays with
+  | Some exact ->
+      checkb "ilp <= greedy" true (Placement.cost arrays exact <= Placement.cost arrays greedy)
+  | None -> Alcotest.fail "small ILP should solve"
+
+let test_single_bank_cost () =
+  let all_one = List.map (fun a -> (a.Placement.name, 0)) arrays in
+  (* conflicts: (a,b):1, (a,d):1, (b,d):1, (c,d):1 -> 4 *)
+  checki "forced conflicts" 4 (Placement.cost arrays all_one)
+
+let qcheck_ilp_beats_greedy =
+  QCheck.Test.make ~name:"ILP placement never worse than greedy" ~count:30
+    QCheck.(pair small_int (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 3) in
+      let arrays =
+        List.init n (fun i ->
+            {
+              Placement.name = Printf.sprintf "arr%d" i;
+              size = 8;
+              slots = List.filter (fun _ -> Rng.bool rng) [ 0; 1; 2 ];
+            })
+      in
+      let greedy = Placement.greedy ~banks:2 arrays in
+      match Placement.ilp ~banks:2 arrays with
+      | Some exact -> Placement.cost arrays exact <= Placement.cost arrays greedy
+      | None -> QCheck.assume_fail ())
+
+(* ---------- register allocation ---------- *)
+
+let test_regalloc_on_mapped_kernel () =
+  let k = Kernels.fir4 () in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 ~rf_size:8 () in
+  let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:16 () in
+  match Ocgra_mappers.Constructive.map p (Rng.create 7) with
+  | None, _, _ -> Alcotest.fail "fir4 maps"
+  | Some m, _, _ ->
+      let npe = 16 in
+      let rot = Regalloc.rotating_need ~ii:m.Ocgra_core.Mapping.ii m ~npe in
+      let uni = Regalloc.unified_need ~ii:m.Ocgra_core.Mapping.ii m ~npe in
+      (* the rotating need is what the checker already enforced *)
+      Array.iter (fun need -> checkb "within rf" true (need <= 8)) rot;
+      (* unified need >= rotating need per PE (colouring >= max overlap) *)
+      Array.iteri (fun pe u -> checkb "unified >= rotating" true (u >= rot.(pe))) uni;
+      let s = Regalloc.summarize m ~npe in
+      checkb "summary consistent" true
+        (s.Regalloc.max_rotating = Array.fold_left max 0 rot
+        && s.Regalloc.max_unified = Array.fold_left max 0 uni)
+
+let test_regalloc_no_holds () =
+  (* a mapping with empty routes has zero register need *)
+  let m = { Ocgra_core.Mapping.ii = 2; binding = [| (0, 0) |]; routes = [||] } in
+  let s = Regalloc.summarize m ~npe:4 in
+  checki "no holds" 0 s.Regalloc.total_holds;
+  checki "no regs" 0 s.Regalloc.max_unified
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "banks",
+        [
+          Alcotest.test_case "bank_of" `Quick test_bank_of;
+          Alcotest.test_case "cycle conflicts" `Quick test_cycle_conflicts;
+          Alcotest.test_case "monotone in banks" `Quick test_conflicts_monotone_in_banks;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "greedy splits hot arrays" `Quick test_greedy_placement_avoids_conflicts;
+          Alcotest.test_case "ilp vs greedy" `Quick test_ilp_at_least_as_good_as_greedy;
+          Alcotest.test_case "single bank cost" `Quick test_single_bank_cost;
+          QCheck_alcotest.to_alcotest qcheck_ilp_beats_greedy;
+        ] );
+      ( "regalloc",
+        [
+          Alcotest.test_case "mapped kernel" `Quick test_regalloc_on_mapped_kernel;
+          Alcotest.test_case "no holds" `Quick test_regalloc_no_holds;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* SAT solver tests: hand instances, brute-force agreement on random
+   CNF, pigeonhole unsatisfiability, cardinality encodings. *)
+
+module Solver = Ocgra_sat.Solver
+module Enc = Ocgra_sat.Encodings
+module Rng = Ocgra_util.Rng
+
+let check = Alcotest.check Alcotest.bool
+
+(* brute-force satisfiability of a CNF over vars 1..n *)
+let brute_force n clauses =
+  let rec go assignment v =
+    if v > n then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let var = Solver.var_of l in
+              if Solver.is_pos l then assignment.(var) else not assignment.(var))
+            clause)
+        clauses
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make (n + 1) false) 1
+
+let solve_clauses n clauses =
+  let s = Solver.create () in
+  let _vars = Solver.new_vars s n in
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          let v = Solver.value s (Solver.var_of l) in
+          if Solver.is_pos l then v else not v)
+        clause)
+    clauses
+
+let test_trivial () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos v ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  check "value" true (Solver.value s v)
+
+let test_unsat_pair () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos v ];
+  Solver.add_clause s [ Solver.neg v ];
+  check "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  let _ = Solver.new_var s in
+  Solver.add_clause s [];
+  check "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_implication_chain () =
+  let s = Solver.create () in
+  let n = 50 in
+  let vars = Array.of_list (Solver.new_vars s n) in
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Solver.neg vars.(i); Solver.pos vars.(i + 1) ]
+  done;
+  Solver.add_clause s [ Solver.pos vars.(0) ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  for i = 0 to n - 1 do
+    check "chain forced" true (Solver.value s vars.(i))
+  done
+
+(* Pigeonhole: n+1 pigeons, n holes -> UNSAT; stresses learning. *)
+let test_pigeonhole () =
+  let n = 5 in
+  let s = Solver.create () in
+  let x = Array.init (n + 1) (fun _ -> Array.of_list (Solver.new_vars s n)) in
+  for p = 0 to n do
+    Solver.add_clause s (List.init n (fun h -> Solver.pos x.(p).(h)))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Solver.add_clause s [ Solver.neg x.(p1).(h); Solver.neg x.(p2).(h) ]
+      done
+    done
+  done;
+  check "php unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Solver.neg a; Solver.pos b ];
+  check "sat under a" true (Solver.solve ~assumptions:[ Solver.pos a ] s = Solver.Sat);
+  check "b forced" true (Solver.value s b);
+  Solver.add_clause s [ Solver.neg b ];
+  check "unsat under a" true (Solver.solve ~assumptions:[ Solver.pos a ] s = Solver.Unsat);
+  (* instance still satisfiable without the assumption *)
+  check "sat without" true (Solver.solve s = Solver.Sat)
+
+let random_cnf rng ~nvars ~nclauses ~width =
+  List.init nclauses (fun _ ->
+      List.init (1 + Rng.int rng width) (fun _ ->
+          let v = 1 + Rng.int rng nvars in
+          if Rng.bool rng then Solver.pos v else Solver.neg v))
+
+let qcheck_agree_with_brute_force =
+  QCheck.Test.make ~name:"random CNF agrees with brute force" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 10))
+    (fun (seed, nvars) ->
+      let rng = Rng.create (seed * 7919) in
+      let nclauses = 2 + Rng.int rng (4 * nvars) in
+      let clauses = random_cnf rng ~nvars ~nclauses ~width:3 in
+      let s, result = solve_clauses nvars clauses in
+      let expected = brute_force nvars clauses in
+      match result with
+      | Solver.Sat -> expected && model_satisfies s clauses
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+let qcheck_at_most_k =
+  QCheck.Test.make ~name:"at_most_k counts correctly" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (pair (int_range 1 8) (int_range 0 8)))
+    (fun (seed, (n, k)) ->
+      let rng = Rng.create (seed + 13) in
+      let s = Solver.create () in
+      let vars = Array.of_list (Solver.new_vars s n) in
+      Enc.at_most_k s (Array.to_list (Array.map Solver.pos vars)) k;
+      (* force a random subset of size m *)
+      let m = Rng.int rng (n + 1) in
+      let idx = Rng.sample_indices rng n m in
+      Array.iter (fun i -> Solver.add_clause s [ Solver.pos vars.(i) ]) idx;
+      let result = Solver.solve s in
+      if m <= k then result = Solver.Sat else result = Solver.Unsat)
+
+let qcheck_exactly_one =
+  QCheck.Test.make ~name:"exactly_one has exactly one true" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 15))
+    (fun (_seed, n) ->
+      let s = Solver.create () in
+      let vars = Array.of_list (Solver.new_vars s n) in
+      Enc.exactly_one s (Array.to_list (Array.map Solver.pos vars));
+      match Solver.solve s with
+      | Solver.Sat ->
+          let count = Array.fold_left (fun acc v -> if Solver.value s v then acc + 1 else acc) 0 vars in
+          count = 1
+      | _ -> false)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "unsat pair" `Quick test_unsat_pair;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_agree_with_brute_force;
+          QCheck_alcotest.to_alcotest qcheck_at_most_k;
+          QCheck_alcotest.to_alcotest qcheck_exactly_one;
+        ] );
+    ]
