@@ -9,10 +9,14 @@
 
 open Cmdliner
 
-let mk_cgra rows cols topology hetero =
+let mk_cgra rows cols topology hetero faults fault_seed =
   let topology = Ocgra_arch.Topology.of_string topology in
-  if hetero then Ocgra_arch.Cgra.adres_like ~topology ~rows ~cols ()
-  else Ocgra_arch.Cgra.uniform ~topology ~rows ~cols ()
+  let cgra =
+    if hetero then Ocgra_arch.Cgra.adres_like ~topology ~rows ~cols ()
+    else Ocgra_arch.Cgra.uniform ~topology ~rows ~cols ()
+  in
+  if faults = 0 then cgra
+  else Ocgra_arch.Cgra.with_faults cgra (Ocgra_arch.Cgra.inject_faults cgra ~seed:fault_seed ~n:faults)
 
 let rows_t = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Array rows.")
 let cols_t = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Array columns.")
@@ -33,6 +37,35 @@ let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
 let spatial_t = Arg.(value & flag & info [ "spatial" ] ~doc:"Spatial (II=1) problem.")
 
+let faults_t =
+  Arg.(value & opt int 0 & info [ "faults" ] ~doc:"Inject $(docv) random resource faults.")
+
+let fault_seed_t =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed for fault injection.")
+
+let deadline_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~doc:"Wall-clock mapping budget in seconds.")
+
+let fallback_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fallback" ]
+        ~doc:"Comma-separated fallback chain of mappers (overrides $(b,-m)), tried in order.")
+
+(* Map through the fallback harness when a chain is given, else through
+   the single named mapper; both paths validate the result. *)
+let run_mapper mapper fallback seed deadline p =
+  match fallback with
+  | Some spec ->
+      Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline
+        (Ocgra_mappers.Registry.chain_of_spec spec)
+        p
+  | None -> Ocgra_core.Mapper.run (Ocgra_mappers.Registry.find mapper) ~seed ?deadline_s:deadline p
+
 let list_cmd =
   let run () =
     print_endline "kernels:";
@@ -51,11 +84,11 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List kernels and mappers") Term.(const run $ const ())
 
 let arch_cmd =
-  let run rows cols topo hetero =
-    print_string (Ocgra_arch.Cgra.describe (mk_cgra rows cols topo hetero))
+  let run rows cols topo hetero faults fault_seed =
+    print_string (Ocgra_arch.Cgra.describe (mk_cgra rows cols topo hetero faults fault_seed))
   in
   Cmd.v (Cmd.info "arch" ~doc:"Describe a CGRA instance")
-    Term.(const run $ rows_t $ cols_t $ topo_t $ hetero_t)
+    Term.(const run $ rows_t $ cols_t $ topo_t $ hetero_t $ faults_t $ fault_seed_t)
 
 let problem_of kernel spatial cgra =
   let k = Ocgra_workloads.Kernels.find kernel in
@@ -66,52 +99,61 @@ let problem_of kernel spatial cgra =
   (k, p)
 
 let map_cmd =
-  let run kernel mapper rows cols topo hetero seed spatial =
-    let cgra = mk_cgra rows cols topo hetero in
+  let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback =
+    let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
-    let m = Ocgra_mappers.Registry.find mapper in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
-    let o = Ocgra_core.Mapper.run m ~seed p in
+    let o = run_mapper mapper fallback seed deadline p in
     match o.mapping with
     | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
     | Some mapping ->
         let cost = Ocgra_core.Cost.of_mapping p mapping in
-        Printf.printf "mapped: %s%s in %.2fs (%d attempts)\n"
+        Printf.printf "mapped: %s%s in %.2fs (%d attempts; %s)\n"
           (Ocgra_core.Cost.to_string cost)
           (if o.proven_optimal then ", II optimal" else "")
-          o.elapsed_s o.attempts;
+          o.elapsed_s o.attempts o.note;
         print_string (Ocgra_core.Mapping.to_grid mapping k.dfg cgra)
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
-    Term.(const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t)
+    Term.(
+      const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t)
 
 let sim_cmd =
-  let run kernel mapper rows cols topo hetero seed iters =
-    let cgra = mk_cgra rows cols topo hetero in
+  let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback =
+    let cgra = mk_cgra rows cols topo hetero faults fault_seed in
+    if faults > 0 then
+      Printf.printf "faults: %s\n"
+        (Ocgra_arch.Fault.list_to_string (Ocgra_arch.Cgra.faults cgra));
     let k, p = problem_of kernel false cgra in
-    let m = Ocgra_mappers.Registry.find mapper in
-    let o = Ocgra_core.Mapper.run m ~seed p in
+    let o = run_mapper mapper fallback seed deadline p in
     match o.mapping with
     | None -> Printf.printf "mapping failed (%s)\n" o.note
-    | Some mapping ->
+    | Some mapping -> (
+        Printf.printf "mapped in %.2fs (%s)\n" o.elapsed_s o.note;
         let io = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
-        let result = Ocgra_sim.Machine.run p mapping io ~iters in
-        let reference = Ocgra_workloads.Kernels.eval_reference k ~iters in
-        Printf.printf "II=%d; %d iterations in %d cycles; %d op instances, %d route instances\n"
-          mapping.Ocgra_core.Mapping.ii iters result.Ocgra_sim.Machine.stats.cycles
-          result.Ocgra_sim.Machine.stats.op_instances
-          result.Ocgra_sim.Machine.stats.route_instances;
-        List.iter
-          (fun name ->
-            let got = Ocgra_sim.Machine.output_stream result name in
-            let want = Ocgra_dfg.Eval.output_stream reference name in
-            Printf.printf "output %-8s %s\n" name
-              (if got = want then "matches the reference interpreter" else "MISMATCH"))
-          k.outputs
+        match Ocgra_sim.Machine.run p mapping io ~iters with
+        | exception Ocgra_sim.Machine.Simulation_error e ->
+            Printf.printf "simulation refused: cycle %d, PE %d: %s\n" e.cycle e.pe e.message
+        | result ->
+            let reference = Ocgra_workloads.Kernels.eval_reference k ~iters in
+            Printf.printf "II=%d; %d iterations in %d cycles; %d op instances, %d route instances\n"
+              mapping.Ocgra_core.Mapping.ii iters result.Ocgra_sim.Machine.stats.cycles
+              result.Ocgra_sim.Machine.stats.op_instances
+              result.Ocgra_sim.Machine.stats.route_instances;
+            List.iter
+              (fun name ->
+                let got = Ocgra_sim.Machine.output_stream result name in
+                let want = Ocgra_dfg.Eval.output_stream reference name in
+                Printf.printf "output %-8s %s\n" name
+                  (if got = want then "matches the reference interpreter" else "MISMATCH"))
+              k.outputs)
   in
   let iters_t = Arg.(value & opt int 12 & info [ "iters" ] ~doc:"Loop iterations.") in
   Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
-    Term.(const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t)
+    Term.(
+      const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

@@ -1,1 +1,1 @@
-lib/arch/cgra.ml: Array Buffer Fun List Ocgra_dfg Ocgra_graph Op Pe Printf Topology
+lib/arch/cgra.ml: Array Buffer Fault Fun List Ocgra_dfg Ocgra_graph Ocgra_util Op Pe Printf Topology

@@ -1,1 +1,1 @@
-lib/arch/cgra.mli: Ocgra_dfg Ocgra_graph Pe Topology
+lib/arch/cgra.mli: Fault Ocgra_dfg Ocgra_graph Pe Topology

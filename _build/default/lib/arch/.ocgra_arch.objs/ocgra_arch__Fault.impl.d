@@ -1,0 +1,1 @@
+lib/arch/fault.ml: List Printf Stdlib String

@@ -13,23 +13,99 @@ type t = {
   topology : Topology.t;
   pes : Pe.t array; (* length rows * cols, row-major *)
   name : string;
+  faults : Fault.t list; (* resources out of service; [] = healthy *)
 }
 
-let make ?(name = "cgra") ~rows ~cols ~topology pes =
+let make ?(name = "cgra") ?(faults = []) ~rows ~cols ~topology pes =
   if Array.length pes <> rows * cols then invalid_arg "Cgra.make: wrong PE count";
-  { rows; cols; topology; pes; name }
+  { rows; cols; topology; pes; name; faults = List.sort_uniq Fault.compare faults }
 
 let pe_count t = t.rows * t.cols
 let pe t i = t.pes.(i)
 let coords t i = (i / t.cols, i mod t.cols)
 let index t ~row ~col = (row * t.cols) + col
 
-let neighbours t i = Topology.neighbours t.topology ~rows:t.rows ~cols:t.cols i
+(* ---------- Fault queries ---------- *)
+
+let faults t = t.faults
+let with_faults t faults = { t with faults = List.sort_uniq Fault.compare faults }
+
+let pe_ok t i =
+  not (List.exists (function Fault.Pe_down j -> j = i | _ -> false) t.faults)
+
+let link_ok t i j =
+  not (List.exists (function Fault.Link_down (a, b) -> a = i && b = j | _ -> false) t.faults)
+
+(* Slot [s] of the modulo config memory: dead slots only bite mappings
+   whose II exceeds the slot index. *)
+let slot_ok t ~pe ~ii ~time =
+  let s = ((time mod ii) + ii) mod ii in
+  not (List.exists (function Fault.Fu_slot_dead (q, d) -> q = pe && d = s | _ -> false) t.faults)
+
+let dead_slots t ~pe =
+  List.filter_map
+    (function Fault.Fu_slot_dead (q, s) when q = pe -> Some s | _ -> None)
+    t.faults
+
+let effective_rf_size t i =
+  if not (pe_ok t i) then 0
+  else begin
+    let lost =
+      List.fold_left
+        (fun acc f -> match f with Fault.Rf_reduced (j, k) when j = i -> acc + k | _ -> acc)
+        0 t.faults
+    in
+    max 0 (t.pes.(i).Pe.rf_size - lost)
+  end
+
+(* Topology adjacency before fault masking: the physical wires. *)
+let raw_neighbours t i = Topology.neighbours t.topology ~rows:t.rows ~cols:t.cols i
+
+(* Fault-masked adjacency: the wires a mapping may actually use.  A
+   downed endpoint removes all its links, so hop tables, routing and
+   validation all avoid faulted resources natively. *)
+let neighbours t i =
+  match t.faults with
+  | [] -> raw_neighbours t i
+  | _ ->
+      if not (pe_ok t i) then []
+      else List.filter (fun j -> pe_ok t j && link_ok t i j) (raw_neighbours t i)
 
 (* PEs a value on [i] can reach in one cycle, including staying put. *)
-let reachable_in_one t i = i :: neighbours t i
+let reachable_in_one t i = if pe_ok t i then i :: neighbours t i else []
 
-let supports t i op = Pe.supports t.pes.(i) op
+let supports t i op = pe_ok t i && Pe.supports t.pes.(i) op
+
+(* Seeded random fault generator: draws up to [n] distinct faults
+   (fewer only when the array runs out of distinct resources).  Pure in
+   [seed], so degraded-array experiments are reproducible. *)
+let inject_faults t ~seed ~n =
+  let rng = Ocgra_util.Rng.create (0x0FA17 lxor seed) in
+  let npe = pe_count t in
+  let picked = ref [] in
+  let attempts = ref 0 in
+  let max_attempts = (32 * max 1 n) + 64 in
+  while List.length !picked < n && !attempts < max_attempts do
+    incr attempts;
+    let pe = Ocgra_util.Rng.int rng npe in
+    let candidate =
+      match Ocgra_util.Rng.int rng 4 with
+      | 0 -> Some (Fault.Pe_down pe)
+      | 1 -> (
+          match raw_neighbours t pe with
+          | [] -> None
+          | ns -> Some (Fault.Link_down (pe, Ocgra_util.Rng.choose_list rng ns)))
+      | 2 -> Some (Fault.Fu_slot_dead (pe, Ocgra_util.Rng.int rng 4))
+      | _ ->
+          let rf = t.pes.(pe).Pe.rf_size in
+          if rf <= 0 then None
+          else Some (Fault.Rf_reduced (pe, 1 + Ocgra_util.Rng.int rng rf))
+    in
+    match candidate with
+    | Some f when not (List.exists (Fault.equal f) !picked) -> picked := f :: !picked
+    | _ -> ()
+  done;
+  List.rev !picked
 
 let capable_pes t op =
   List.filter (fun i -> supports t i op) (List.init (pe_count t) Fun.id)
@@ -82,6 +158,8 @@ let describe t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "%s: %dx%d %s\n" t.name t.rows t.cols (Topology.to_string t.topology));
+  if t.faults <> [] then
+    Buffer.add_string buf (Printf.sprintf "  faults: %s\n" (Fault.list_to_string t.faults));
   for r = 0 to t.rows - 1 do
     for c = 0 to t.cols - 1 do
       let i = index t ~row:r ~col:c in

@@ -9,15 +9,54 @@ type t = {
   topology : Topology.t;
   pes : Pe.t array;  (** row-major, length rows * cols *)
   name : string;
+  faults : Fault.t list;  (** resources out of service; [[]] = healthy *)
 }
 
 (** Raises [Invalid_argument] when the PE array has the wrong length. *)
-val make : ?name:string -> rows:int -> cols:int -> topology:Topology.t -> Pe.t array -> t
+val make :
+  ?name:string -> ?faults:Fault.t list -> rows:int -> cols:int -> topology:Topology.t -> Pe.t array -> t
 
 val pe_count : t -> int
 val pe : t -> int -> Pe.t
 val coords : t -> int -> int * int
 val index : t -> row:int -> col:int -> int
+
+(** {2 Faults}
+
+    [neighbours], [reachable_in_one], [supports] and [capable_pes] are
+    all fault-masked: a downed PE supports nothing and has no links, a
+    downed link disappears from the adjacency.  Mappers that only go
+    through these queries avoid faulted resources with no changes. *)
+
+val faults : t -> Fault.t list
+
+(** Same array with a (deduplicated) replacement fault set. *)
+val with_faults : t -> Fault.t list -> t
+
+(** False when the cell itself is [Pe_down]. *)
+val pe_ok : t -> int -> bool
+
+(** False when the directed link i -> j is [Link_down] (endpoint health
+    is not considered — combine with [pe_ok]). *)
+val link_ok : t -> int -> int -> bool
+
+(** False when config slot [time mod ii] of [pe] is [Fu_slot_dead]. *)
+val slot_ok : t -> pe:int -> ii:int -> time:int -> bool
+
+(** Dead config-memory slot indices of [pe]. *)
+val dead_slots : t -> pe:int -> int list
+
+(** Register-file capacity after [Rf_reduced] faults (0 for a downed
+    PE), clamped at 0. *)
+val effective_rf_size : t -> int -> int
+
+(** Physical topology adjacency, ignoring faults. *)
+val raw_neighbours : t -> int -> int list
+
+(** Draw up to [n] distinct random faults (fewer only if the array runs
+    out of distinct resources); deterministic in [seed]. *)
+val inject_faults : t -> seed:int -> n:int -> Fault.t list
+
 val neighbours : t -> int -> int list
 
 (** Including staying put. *)

@@ -1,0 +1,32 @@
+(* Resource fault model for degraded arrays.
+
+   A fault names one physical resource of the CGRA that manufacturing
+   defects, ageing, or soft-error screening has taken out of service.
+   Mapping onto the degraded array means no binding or route may touch
+   a faulted resource; the fault set travels with the [Cgra.t] so every
+   mapper, the validator and the simulator see the same degradation. *)
+
+type t =
+  | Pe_down of int  (** the whole cell is unusable *)
+  | Link_down of int * int  (** the directed link src -> dst is unusable *)
+  | Fu_slot_dead of int * int
+      (** (pe, slot): config-memory slot [slot] of the PE is dead — the
+          FU may not fire (and no value may hop through it) at any cycle
+          [t] with [t mod ii = slot], for mappings with [ii > slot]. *)
+  | Rf_reduced of int * int
+      (** (pe, lost): [lost] registers of the PE's local file are dead;
+          the effective capacity is reduced accordingly (clamped at 0). *)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Pe_down pe -> Printf.sprintf "pe-down %d" pe
+  | Link_down (src, dst) -> Printf.sprintf "link-down %d->%d" src dst
+  | Fu_slot_dead (pe, slot) -> Printf.sprintf "fu-slot-dead pe %d slot %d" pe slot
+  | Rf_reduced (pe, lost) -> Printf.sprintf "rf-reduced pe %d by %d" pe lost
+
+let list_to_string faults =
+  match faults with
+  | [] -> "none"
+  | _ -> String.concat ", " (List.map to_string faults)

@@ -1,0 +1,23 @@
+(** Resource fault model for degraded arrays.
+
+    A fault names one physical resource taken out of service.  The
+    fault set is carried by the [Cgra.t] (see {!Cgra.with_faults}), so
+    mappers, the validator and the simulator all see the same
+    degradation. *)
+
+type t =
+  | Pe_down of int  (** the whole cell is unusable *)
+  | Link_down of int * int  (** the directed link src -> dst is unusable *)
+  | Fu_slot_dead of int * int
+      (** (pe, slot): config-memory slot [slot] is dead — nothing may
+          execute or pass through the PE at cycles [t] with
+          [t mod ii = slot] (only binds for mappings with [ii > slot]). *)
+  | Rf_reduced of int * int
+      (** (pe, lost): the PE's register file loses [lost] entries. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Comma-separated rendering; ["none"] for the empty list. *)
+val list_to_string : t list -> string

@@ -1,0 +1,1 @@
+lib/core/deadline.ml: Unix

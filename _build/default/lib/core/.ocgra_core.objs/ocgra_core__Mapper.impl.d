@@ -1,1 +1,1 @@
-lib/core/mapper.ml: Check Mapping Ocgra_util Printf Problem String Sys Taxonomy
+lib/core/mapper.ml: Buffer Check Deadline List Mapping Ocgra_util Option Printf Problem String Taxonomy

@@ -1,1 +1,1 @@
-lib/core/mapper.mli: Mapping Ocgra_util Problem Taxonomy
+lib/core/mapper.mli: Deadline Mapping Ocgra_util Problem Taxonomy

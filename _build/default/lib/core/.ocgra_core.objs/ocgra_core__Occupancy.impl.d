@@ -1,1 +1,1 @@
-lib/core/occupancy.ml: Array List Mapping
+lib/core/occupancy.ml: Array List Mapping Ocgra_arch

@@ -1,1 +1,1 @@
-lib/core/occupancy.mli: Mapping
+lib/core/occupancy.mli: Mapping Ocgra_arch

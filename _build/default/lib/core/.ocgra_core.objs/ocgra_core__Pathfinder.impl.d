@@ -1,1 +1,1 @@
-lib/core/pathfinder.ml: Array Cgra Check Dfg Hashtbl List Mapping Occupancy Ocgra_arch Ocgra_dfg Op Option Pe Problem Route
+lib/core/pathfinder.ml: Array Cgra Check Dfg Hashtbl List Mapping Occupancy Ocgra_arch Ocgra_dfg Op Option Problem Route

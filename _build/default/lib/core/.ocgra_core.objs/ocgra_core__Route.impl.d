@@ -1,1 +1,1 @@
-lib/core/route.ml: Array Cgra List Mapping Occupancy Ocgra_arch Pe
+lib/core/route.ml: Array Cgra List Mapping Occupancy Ocgra_arch

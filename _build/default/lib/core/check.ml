@@ -33,15 +33,22 @@ let validate (p : Problem.t) (m : Mapping.t) : violation list =
   if !problems <> [] then List.rev !problems
   else begin
     let horizon = Problem.max_time p in
-    (* 1. binding legality *)
+    (* 1. binding legality (fault checks first, so a violation names the
+       faulted resource rather than a derived capability failure) *)
     Array.iteri
       (fun v (pe, time) ->
         if pe < 0 || pe >= npe then fail "node %d bound to nonexistent PE %d" v pe
         else begin
           if time < 0 || time >= horizon then fail "node %d scheduled at cycle %d (horizon %d)" v time horizon;
-          let op = Dfg.op dfg v in
-          if not (Cgra.supports cgra pe op) then
-            fail "node %d (%s) bound to PE %d which does not support it" v (Op.to_string op) pe
+          if not (Cgra.pe_ok cgra pe) then fail "node %d bound to faulted PE %d (pe-down)" v pe
+          else begin
+            if not (Cgra.slot_ok cgra ~pe ~ii:m.ii ~time) then
+              fail "node %d scheduled in dead FU slot (pe %d, slot %d)" v pe
+                (((time mod m.ii) + m.ii) mod m.ii);
+            let op = Dfg.op dfg v in
+            if not (Cgra.supports cgra pe op) then
+              fail "node %d (%s) bound to PE %d which does not support it" v (Op.to_string op) pe
+          end
         end)
       m.binding;
     if !problems <> [] then List.rev !problems
@@ -59,8 +66,16 @@ let validate (p : Problem.t) (m : Mapping.t) : violation list =
               | Mapping.Hop { pe; time } ->
                   if pe < 0 || pe >= npe then fail "edge %d hop on nonexistent PE %d" e pe
                   else if time < 0 then fail "edge %d hop at negative cycle %d" e time
-                  else fu.(slot pe time) <- Printf.sprintf "route %d" e :: fu.(slot pe time)
-              | Mapping.Hold _ -> ())
+                  else begin
+                    if not (Cgra.pe_ok cgra pe) then fail "edge %d: hop on faulted PE %d (pe-down)" e pe
+                    else if not (Cgra.slot_ok cgra ~pe ~ii:m.ii ~time) then
+                      fail "edge %d: hop in dead FU slot (pe %d, slot %d)" e pe
+                        (((time mod m.ii) + m.ii) mod m.ii);
+                    fu.(slot pe time) <- Printf.sprintf "route %d" e :: fu.(slot pe time)
+                  end
+              | Mapping.Hold { pe; _ } ->
+                  if pe >= 0 && pe < npe && not (Cgra.pe_ok cgra pe) then
+                    fail "edge %d: hold on faulted PE %d (pe-down)" e pe)
             route)
         m.routes;
       Array.iteri
@@ -87,10 +102,11 @@ let validate (p : Problem.t) (m : Mapping.t) : violation list =
       Array.iteri
         (fun i count ->
           let pe = i / m.ii in
-          let size = (Cgra.pe cgra pe).Pe.rf_size in
+          let size = Cgra.effective_rf_size cgra pe in
           if count > size then
-            fail "RF of PE %d oversubscribed at slot %d: %d live values, %d registers" pe
-              (i mod m.ii) count size)
+            fail "RF of PE %d oversubscribed at slot %d: %d live values, %d registers%s" pe
+              (i mod m.ii) count size
+              (if size < (Cgra.pe cgra pe).Pe.rf_size then " (reduced by fault)" else ""))
         rf;
       (* 3. every dependence is routed with consistent timing *)
       List.iteri
@@ -120,7 +136,10 @@ let validate (p : Problem.t) (m : Mapping.t) : violation list =
                     else if
                       (not !in_rf) && pe <> !cur && not (List.mem pe (Cgra.neighbours cgra !cur))
                     then begin
-                      fail "edge %d: hop from PE %d to non-neighbour PE %d" e !cur pe;
+                      if List.mem pe (Cgra.raw_neighbours cgra !cur) then
+                        fail "edge %d: hop from PE %d to PE %d over a faulted link or endpoint" e
+                          !cur pe
+                      else fail "edge %d: hop from PE %d to non-neighbour PE %d" e !cur pe;
                       ok := false
                     end
                     else begin
@@ -160,7 +179,12 @@ let validate (p : Problem.t) (m : Mapping.t) : violation list =
                 fail "edge %d: value held in RF of PE %d but consumer is on PE %d" e !cur dst_pe
             end
             else if !cur <> dst_pe && not (List.mem dst_pe (Cgra.neighbours cgra !cur)) then
-              fail "edge %d: consumer PE %d cannot read output of non-neighbour PE %d" e dst_pe !cur
+              if List.mem dst_pe (Cgra.raw_neighbours cgra !cur) then
+                fail "edge %d: consumer PE %d reads PE %d over a faulted link or endpoint" e dst_pe
+                  !cur
+              else
+                fail "edge %d: consumer PE %d cannot read output of non-neighbour PE %d" e dst_pe
+                  !cur
           end)
         (Dfg.edges dfg);
       List.rev !problems

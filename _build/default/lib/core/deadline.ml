@@ -1,0 +1,23 @@
+(* Wall-clock budgets for mapping runs.
+
+   A deadline is an absolute expiry instant (or none).  Engines receive
+   it as a cheap [should_stop : unit -> bool] polling hook; mappers
+   check it between restarts / II iterations.  Wall clock, not CPU
+   time, so a stuck solver is bounded even when it sleeps or pages. *)
+
+type t = No_deadline | Expires_at of float
+
+let none = No_deadline
+let after ~seconds = Expires_at (Unix.gettimeofday () +. seconds)
+let of_seconds = function None -> No_deadline | Some s -> after ~seconds:s
+
+let expired = function
+  | No_deadline -> false
+  | Expires_at e -> Unix.gettimeofday () > e
+
+let remaining_s = function
+  | No_deadline -> None
+  | Expires_at e -> Some (max 0.0 (e -. Unix.gettimeofday ()))
+
+let should_stop t () = expired t
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,27 @@
+(** Wall-clock budgets for mapping runs.
+
+    Built on [Unix.gettimeofday] (portable, no signals/threads): the
+    engines poll [should_stop] at checkpoints, so expiry surfaces as a
+    graceful "no mapping / unknown" rather than an interrupt. *)
+
+type t
+
+(** Never expires. *)
+val none : t
+
+(** Expires [seconds] of wall clock from now. *)
+val after : seconds:float -> t
+
+(** [None] -> {!none}, [Some s] -> {!after} [s]. *)
+val of_seconds : float option -> t
+
+val expired : t -> bool
+
+(** Seconds left (clamped at 0), or [None] for {!none}. *)
+val remaining_s : t -> float option
+
+(** Polling hook to hand to an engine. *)
+val should_stop : t -> unit -> bool
+
+(** Current wall-clock time, for elapsed measurements. *)
+val now : unit -> float

@@ -4,7 +4,9 @@
    value of [t]: a named, classified function from problem to (maybe)
    mapping.  [run] wraps the raw algorithm with the independent
    validator so an invalid mapping is reported as a failure, never as a
-   success. *)
+   success.  [Harness] adds the production wrapper: wall-clock
+   deadlines, retries and an ordered fallback chain for degraded-array
+   or budget-limited service. *)
 
 module Rng = Ocgra_util.Rng
 
@@ -21,7 +23,7 @@ type t = {
   citation : string; (* representative papers from the survey *)
   scope : Taxonomy.scope;
   approach : Taxonomy.approach;
-  map : Problem.t -> Rng.t -> outcome;
+  map : Problem.t -> Rng.t -> Deadline.t -> outcome;
 }
 
 let make ~name ~citation ~scope ~approach map = { name; citation; scope; approach; map }
@@ -30,24 +32,102 @@ let no_mapping ?(note = "") ~attempts ~elapsed_s () =
   { mapping = None; proven_optimal = false; attempts; elapsed_s; note }
 
 (* Run a mapper and validate its output; invalid results are demoted to
-   failures with the violations in [note]. *)
-let run (mapper : t) ?(seed = 42) (p : Problem.t) =
+   failures with the violations in [note].  [elapsed_s] is measured
+   here on the wall clock — the technique's self-reported value is
+   never trusted.  An unmappable problem (some op with no capable,
+   non-faulted PE) fails fast without entering the technique, since
+   several meta-heuristics assume non-empty candidate sets. *)
+let run (mapper : t) ?(seed = 42) ?deadline_s (p : Problem.t) =
   let rng = Rng.create seed in
-  let t0 = Sys.time () in
-  let outcome = mapper.map p rng in
-  let elapsed_s = Sys.time () -. t0 in
-  match outcome.mapping with
-  | None -> { outcome with elapsed_s }
-  | Some m -> (
-      match Check.validate p m with
-      | [] -> { outcome with elapsed_s }
-      | violations ->
+  let dl = Deadline.of_seconds deadline_s in
+  let t0 = Deadline.now () in
+  let finish outcome = { outcome with elapsed_s = Deadline.now () -. t0 } in
+  if not (Problem.mappable p) then
+    finish
+      (no_mapping ~attempts:0 ~elapsed_s:0.0
+         ~note:"unmappable: some operation has no capable, non-faulted PE" ())
+  else begin
+    let outcome = mapper.map p rng dl in
+    match outcome.mapping with
+    | None -> finish outcome
+    | Some m -> (
+        match Check.validate p m with
+        | [] -> finish outcome
+        | violations ->
+            finish
+              {
+                mapping = None;
+                proven_optimal = false;
+                attempts = outcome.attempts;
+                elapsed_s = 0.0;
+                note =
+                  Printf.sprintf "INVALID mapping produced by %s: %s" mapper.name
+                    (String.concat " | " violations);
+              })
+  end
+
+(* Deadline-bounded, retrying, fallback-chained mapping: the harness a
+   mapping service runs instead of a bare [run].  Tier i of an n-tier
+   chain receives an equal share of the remaining wall clock
+   (remaining / tiers-left), so an exact front tier cannot starve the
+   heuristic safety net; each tier is retried with varied seeds; the
+   note records which tier answered and why earlier tiers did not. *)
+module Harness = struct
+  let run ?(seed = 42) ?deadline_s ?(retries = 2) (chain : t list) (p : Problem.t) =
+    if chain = [] then invalid_arg "Mapper.Harness.run: empty fallback chain";
+    let dl = Deadline.of_seconds deadline_s in
+    let t0 = Deadline.now () in
+    let n = List.length chain in
+    let total_attempts = ref 0 in
+    let trail = Buffer.create 64 in
+    let record_failure (m : t) ~try_no note =
+      Buffer.add_string trail
+        (Printf.sprintf "%s[try %d]: %s; " m.name (try_no + 1)
+           (if note = "" then "no mapping" else note))
+    in
+    let rec tiers idx = function
+      | [] ->
           {
             mapping = None;
             proven_optimal = false;
-            attempts = outcome.attempts;
-            elapsed_s;
-            note =
-              Printf.sprintf "INVALID mapping produced by %s: %s" mapper.name
-                (String.concat " | " violations);
-          })
+            attempts = !total_attempts;
+            elapsed_s = Deadline.now () -. t0;
+            note = Printf.sprintf "no tier answered: %s" (Buffer.contents trail);
+          }
+      | m :: rest ->
+          let tiers_left = n - idx in
+          let rec attempt try_no =
+            if try_no >= max 1 retries then None
+            else if Deadline.expired dl && try_no > 0 then None
+            else begin
+              (* equal share of what is left, re-measured per try *)
+              let budget =
+                Option.map
+                  (fun r -> max 0.05 (r /. float_of_int tiers_left))
+                  (Deadline.remaining_s dl)
+              in
+              let o = run m ~seed:(seed + (try_no * 7919)) ?deadline_s:budget p in
+              total_attempts := !total_attempts + max 1 o.attempts;
+              match o.mapping with
+              | Some _ -> Some o
+              | None ->
+                  record_failure m ~try_no o.note;
+                  attempt (try_no + 1)
+            end
+          in
+          (match attempt 0 with
+          | Some o ->
+              {
+                o with
+                attempts = !total_attempts;
+                elapsed_s = Deadline.now () -. t0;
+                note =
+                  Printf.sprintf "answered by tier %d/%d (%s)%s%s" (idx + 1) n m.name
+                    (if o.note = "" then "" else ": " ^ o.note)
+                    (if Buffer.length trail = 0 then ""
+                     else " | earlier tiers: " ^ Buffer.contents trail);
+              }
+          | None -> tiers (idx + 1) rest)
+    in
+    tiers 0 chain
+end

@@ -14,7 +14,9 @@ type t = {
   citation : string;  (** representative papers from the survey *)
   scope : Taxonomy.scope;
   approach : Taxonomy.approach;
-  map : Problem.t -> Ocgra_util.Rng.t -> outcome;
+  map : Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> outcome;
+      (** techniques poll the {!Deadline.t} at their checkpoints and
+          return their best partial answer when it expires *)
 }
 
 val make :
@@ -22,12 +24,28 @@ val make :
   citation:string ->
   scope:Taxonomy.scope ->
   approach:Taxonomy.approach ->
-  (Problem.t -> Ocgra_util.Rng.t -> outcome) ->
+  (Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> outcome) ->
   t
 
 val no_mapping : ?note:string -> attempts:int -> elapsed_s:float -> unit -> outcome
 
 (** Run a mapper and validate its output with {!Check.validate}:
     invalid mappings are demoted to failures with the violations in
-    [note], so a mapper can never report a wrong mapping as success. *)
-val run : t -> ?seed:int -> Problem.t -> outcome
+    [note], so a mapper can never report a wrong mapping as success —
+    including on a degraded array, whose fault constraints the
+    validator enforces.  [elapsed_s] is measured here on the wall
+    clock; the technique's self-reported value is ignored.
+    [?deadline_s] bounds the run in wall-clock seconds. *)
+val run : t -> ?seed:int -> ?deadline_s:float -> Problem.t -> outcome
+
+(** Deadline-bounded, retrying, fallback-chained mapping. *)
+module Harness : sig
+  (** [run chain p] tries each tier of [chain] in order (each via
+      {!Mapper.run}, so every answer is validated), giving tier i an
+      equal share of the remaining wall clock and up to [retries]
+      seed-varied tries, and returns the first success.  The outcome
+      [note] records which tier answered and why earlier tiers failed;
+      when no tier answers, the failure note carries the whole trail.
+      Raises [Invalid_argument] on an empty chain. *)
+  val run : ?seed:int -> ?deadline_s:float -> ?retries:int -> t list -> Problem.t -> outcome
+end

@@ -8,7 +8,8 @@
    costs one entry in each of the L successive slots (so ceil(L/II)
    physical registers), which makes per-slot counting exact. *)
 
-type user = U_node of int | U_route of int (* DFG node id / DFG edge index *)
+type user = U_node of int | U_route of int | U_fault
+(* DFG node id / DFG edge index / permanently dead resource *)
 
 type t = {
   ii : int;
@@ -17,8 +18,24 @@ type t = {
   rf : int array; (* (pe * ii + slot) -> live value count *)
 }
 
-let create ~npe ~ii =
-  { ii; npe; fu = Array.make (npe * ii) None; rf = Array.make (npe * ii) 0 }
+(* With [?cgra], faulted FU slots are pre-claimed by [U_fault] so every
+   constructive mapper and router treats them as permanently busy. *)
+let create ?cgra ~npe ~ii () =
+  let t = { ii; npe; fu = Array.make (npe * ii) None; rf = Array.make (npe * ii) 0 } in
+  (match cgra with
+  | None -> ()
+  | Some cgra ->
+      for pe = 0 to npe - 1 do
+        if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
+          for s = 0 to ii - 1 do
+            t.fu.((pe * ii) + s) <- Some U_fault
+          done
+        else
+          List.iter
+            (fun s -> if s < ii then t.fu.((pe * ii) + s) <- Some U_fault)
+            (Ocgra_arch.Cgra.dead_slots cgra ~pe)
+      done);
+  t
 
 let slot_index t pe time = (pe * t.ii) + (((time mod t.ii) + t.ii) mod t.ii)
 
@@ -71,13 +88,15 @@ let release_route t (route : Mapping.route) =
 
 (* Rebuild the full occupancy of a mapping; raises if overlapping. *)
 let of_mapping ~npe (m : Mapping.t) =
-  let t = create ~npe ~ii:m.ii in
+  let t = create ~npe ~ii:m.ii () in
   Array.iteri (fun v (pe, time) -> claim_fu t ~pe ~time (U_node v)) m.binding;
   Array.iteri (fun i route -> claim_route t i route) m.routes;
   t
 
 let fu_used_count t =
-  Array.fold_left (fun acc u -> match u with Some _ -> acc + 1 | None -> acc) 0 t.fu
+  Array.fold_left
+    (fun acc u -> match u with Some U_fault | None -> acc | Some _ -> acc + 1)
+    0 t.fu
 
 (* Fraction of FU slots in use: the utilization number of the Fig. 1
    style comparisons. *)

@@ -3,7 +3,10 @@
     (rotating-register accounting, which makes per-slot counting
     exact). *)
 
-type user = U_node of int | U_route of int  (** DFG node id / edge index *)
+type user =
+  | U_node of int
+  | U_route of int
+  | U_fault  (** DFG node id / edge index / permanently dead resource *)
 
 type t = {
   ii : int;
@@ -12,7 +15,9 @@ type t = {
   rf : int array;
 }
 
-val create : npe:int -> ii:int -> t
+(** With [?cgra], faulted FU slots are pre-claimed by [U_fault], so
+    constructive mappers and routers avoid them natively. *)
+val create : ?cgra:Ocgra_arch.Cgra.t -> npe:int -> ii:int -> unit -> t
 val slot_index : t -> int -> int -> int
 val fu_user : t -> pe:int -> time:int -> user option
 val fu_free : t -> pe:int -> time:int -> bool

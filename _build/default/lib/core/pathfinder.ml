@@ -35,9 +35,20 @@ let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
       rf_history = Hashtbl.create 64;
     }
   in
-  (* FU slots taken by operations are never available to routes *)
+  (* FU slots taken by operations — or dead silicon — are never
+     available to routes *)
   let node_slots = Hashtbl.create 64 in
   Array.iter (fun (pe, time) -> Hashtbl.replace node_slots (pe, slot time) ()) binding;
+  for pe = 0 to Cgra.pe_count cgra - 1 do
+    if not (Cgra.pe_ok cgra pe) then
+      for s = 0 to ii - 1 do
+        Hashtbl.replace node_slots (pe, s) ()
+      done
+    else
+      List.iter
+        (fun s -> if s < ii then Hashtbl.replace node_slots (pe, s) ())
+        (Cgra.dead_slots cgra ~pe)
+  done;
   let routes = Array.make (Array.length edges) [] in
   let apply_route_prices sign route =
     List.iter
@@ -61,7 +72,7 @@ let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
       rf_cost =
         (fun pe time ->
           let key = (pe, slot time) in
-          let size = (Cgra.pe cgra pe).Pe.rf_size in
+          let size = Cgra.effective_rf_size cgra pe in
           let over = max 0 (get prices.rf_present key - size + 1) in
           Some (1 + (30 * over) + (4 * get prices.rf_history key)));
     }
@@ -80,7 +91,7 @@ let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
     Hashtbl.iter (fun _key c -> over := !over + max 0 (c - 1)) prices.fu_present;
     Hashtbl.iter
       (fun (pe, s) c ->
-        let size = (Cgra.pe cgra pe).Pe.rf_size in
+        let size = Cgra.effective_rf_size cgra pe in
         ignore s;
         if c > size then over := !over + (c - size))
       prices.rf_present;
@@ -113,7 +124,7 @@ let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
           prices.fu_present;
         Hashtbl.iter
           (fun (pe, s) c ->
-            let size = (Cgra.pe cgra pe).Pe.rf_size in
+            let size = Cgra.effective_rf_size cgra pe in
             if c > size then bump prices.rf_history (pe, s) (c - size))
           prices.rf_present;
         negotiate (iter + 1)

@@ -43,6 +43,15 @@ let max_time t =
   | Spatial -> (2 * Dfg.node_count t.dfg) + Dfg.critical_path t.dfg + 4
   | Temporal { max_time; _ } -> max_time
 
+(* Every op has at least one capable (non-faulted) PE.  Mappers whose
+   candidate generation assumes non-empty capability sets are guarded
+   by this in [Mapper.run], so a heavily degraded array fails cleanly
+   instead of raising. *)
+let mappable t =
+  Dfg.fold_nodes
+    (fun nd acc -> acc && Cgra.capable_pes t.cgra nd.Dfg.op <> [])
+    t.dfg true
+
 let describe t =
   Printf.sprintf "%s on %s (%s, %d ops, %d deps)"
     (match t.kind with

@@ -34,4 +34,8 @@ val max_ii : t -> int
 (** Schedule horizon: bindings must place every op before this cycle. *)
 val max_time : t -> int
 
+(** Every op has at least one capable, non-faulted PE.  False means no
+    mapper can succeed on this (possibly degraded) array. *)
+val mappable : t -> bool
+
 val describe : t -> string

@@ -328,10 +328,22 @@ let pick_var t =
 
 exception Solution_found
 
-let solve ?(max_failures = max_int) ?(value_order = fun (_ : var) (xs : int list) -> xs) t =
+let solve ?(max_failures = max_int) ?(should_stop = fun () -> false)
+    ?(value_order = fun (_ : var) (xs : int list) -> xs) t =
   let solution = ref None in
+  (* amortised deadline polling: latch the stop and consult the hook
+     only every few hundred search nodes *)
+  let polls = ref 0 in
+  let stop_requested = ref false in
+  let poll_stop () =
+    if not !stop_requested then begin
+      incr polls;
+      if !polls land 255 = 0 && should_stop () then stop_requested := true
+    end;
+    !stop_requested
+  in
   let rec search () =
-    if t.failures > max_failures then ()
+    if t.failures > max_failures || poll_stop () then ()
     else if not (propagate_all t) then t.failures <- t.failures + 1
     else begin
       match pick_var t with
@@ -342,7 +354,7 @@ let solve ?(max_failures = max_int) ?(value_order = fun (_ : var) (xs : int list
           let values = value_order v (Bitset.elements t.domains.(v)) in
           List.iter
             (fun x ->
-              if t.failures <= max_failures && !solution = None then begin
+              if t.failures <= max_failures && !solution = None && not !stop_requested then begin
                 let snap = snapshot t in
                 t.decisions <- t.decisions + 1;
                 if assign t v x then search () else t.failures <- t.failures + 1;
@@ -381,7 +393,7 @@ let count_solutions ?(limit = max_int) t =
 
 (* Branch-and-bound minimization of a variable: repeatedly solve with a
    tightening upper bound on [obj]. *)
-let minimize ?(max_failures = max_int) t obj =
+let minimize ?(max_failures = max_int) ?(should_stop = fun () -> false) t obj =
   let best = ref None in
   let continue_ = ref true in
   while !continue_ do
@@ -392,12 +404,12 @@ let minimize ?(max_failures = max_int) t obj =
           (fun x -> if x >= bound then ignore (remove_value t obj x))
           (Bitset.copy t.domains.(obj))
     | None -> ());
-    if Bitset.is_empty t.domains.(obj) then begin
+    if Bitset.is_empty t.domains.(obj) || should_stop () then begin
       restore t snap;
       continue_ := false
     end
     else begin
-      match solve ~max_failures t with
+      match solve ~max_failures ~should_stop t with
       | Some sol ->
           best := Some (sol.(obj), sol);
           restore t snap

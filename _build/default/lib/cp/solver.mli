@@ -45,13 +45,21 @@ val linear_eq : t -> (int * var) list -> int -> unit
 val table : t -> var list -> int array list -> unit
 
 (** First solution (values per variable), or [None]. [value_order]
-    reorders each variable's candidate values. *)
-val solve : ?max_failures:int -> ?value_order:(var -> int list -> int list) -> t -> int array option
+    reorders each variable's candidate values; [should_stop] (polled at
+    amortised checkpoints) aborts the search, e.g. on a wall-clock
+    deadline. *)
+val solve :
+  ?max_failures:int ->
+  ?should_stop:(unit -> bool) ->
+  ?value_order:(var -> int list -> int list) ->
+  t ->
+  int array option
 
 val count_solutions : ?limit:int -> t -> int
 
 (** Iterated branch & bound: best (objective value, solution). *)
-val minimize : ?max_failures:int -> t -> var -> (int * int array) option
+val minimize :
+  ?max_failures:int -> ?should_stop:(unit -> bool) -> t -> var -> (int * int array) option
 
 (** (failures, decisions) since creation. *)
 val stats : t -> int * int

@@ -23,7 +23,8 @@ let int_tol = 1e-6
 
 let is_integral x = Float.abs (x -. Float.round x) < int_tol
 
-let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) (p : problem) =
+let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) ?(should_stop = fun () -> false)
+    (p : problem) =
   if Array.length p.kinds <> p.lp.n then invalid_arg "Ilp.solve: kinds length mismatch";
   let stats = { nodes = 0; lp_solves = 0 } in
   let deadline = Sys.time () +. time_limit in
@@ -36,7 +37,8 @@ let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) (p : problem) =
   in
   (* Extra bound rows accumulated along the branch-and-bound path. *)
   let rec branch extra_rows =
-    if stats.nodes >= max_nodes || Sys.time () > deadline then budget_hit := true
+    if stats.nodes >= max_nodes || Sys.time () > deadline || should_stop () then
+      budget_hit := true
     else begin
       stats.nodes <- stats.nodes + 1;
       stats.lp_solves <- stats.lp_solves + 1;

@@ -19,4 +19,7 @@ type outcome =
 
 type stats = { mutable nodes : int; mutable lp_solves : int }
 
-val solve : ?max_nodes:int -> ?time_limit:float -> problem -> outcome * stats
+(** [should_stop] is polled once per branch-and-bound node (each node
+    already pays an LP solve, so the hook is off the hot path). *)
+val solve :
+  ?max_nodes:int -> ?time_limit:float -> ?should_stop:(unit -> bool) -> problem -> outcome * stats

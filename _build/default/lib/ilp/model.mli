@@ -31,4 +31,8 @@ type outcome =
 (** Returns the outcome, the rounded integer solution when one exists,
     and the branch & bound statistics. *)
 val solve :
-  ?max_nodes:int -> ?time_limit:float -> t -> outcome * int array option * Ilp.stats
+  ?max_nodes:int ->
+  ?time_limit:float ->
+  ?should_stop:(unit -> bool) ->
+  t ->
+  outcome * int array option * Ilp.stats

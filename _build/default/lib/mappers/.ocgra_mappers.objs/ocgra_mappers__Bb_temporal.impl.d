@@ -1,1 +1,1 @@
-lib/mappers/bb_temporal.ml: Array Constructive Dfg Fun List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_util Place_route Problem Taxonomy
+lib/mappers/bb_temporal.ml: Array Constructive Deadline Dfg Fun List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_util Place_route Problem Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/constructive.ml: Array Dfg Fun List Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Place_route Problem
+lib/mappers/constructive.ml: Array Deadline Dfg Fun List Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Place_route Problem

@@ -1,1 +1,1 @@
-lib/mappers/cp_temporal.ml: Array Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_cp Ocgra_dfg Ocgra_graph Ocgra_util Op Printf Problem Taxonomy
+lib/mappers/cp_temporal.ml: Array Deadline Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_cp Ocgra_dfg Ocgra_graph Ocgra_util Op Printf Problem Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/edge_centric.ml: Array Constructive Dfg Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_util Op Place_route Problem Route Taxonomy
+lib/mappers/edge_centric.ml: Array Constructive Deadline Dfg Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_util Op Place_route Problem Route Taxonomy

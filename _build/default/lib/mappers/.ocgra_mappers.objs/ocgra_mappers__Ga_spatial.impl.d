@@ -1,1 +1,1 @@
-lib/mappers/ga_spatial.ml: Mapper Ocgra_arch Ocgra_core Ocgra_meta Problem Spatial_common Taxonomy
+lib/mappers/ga_spatial.ml: Deadline Mapper Ocgra_arch Ocgra_core Ocgra_meta Problem Spatial_common Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/graph_drawing.ml: Array Dfg Float List Mapper Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Problem Spatial_common Taxonomy
+lib/mappers/graph_drawing.ml: Array Deadline Dfg Float List Mapper Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Problem Spatial_common Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/heuristic.ml: Constructive Mapper Ocgra_core Problem Taxonomy
+lib/mappers/heuristic.ml: Constructive Deadline Mapper Ocgra_core Problem Taxonomy

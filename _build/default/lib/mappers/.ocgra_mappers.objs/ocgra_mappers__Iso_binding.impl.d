@@ -1,1 +1,1 @@
-lib/mappers/iso_binding.ml: Array Dfg Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Op Problem Sched Taxonomy
+lib/mappers/iso_binding.ml: Array Deadline Dfg Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_util Op Problem Sched Taxonomy

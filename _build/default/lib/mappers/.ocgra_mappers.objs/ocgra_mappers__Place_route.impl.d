@@ -1,1 +1,1 @@
-lib/mappers/place_route.ml: Array Cgra Dfg Fun List Mapping Occupancy Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Op Pe Problem Route
+lib/mappers/place_route.ml: Array Cgra Dfg Fun List Mapping Occupancy Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Op Problem Route

@@ -1,1 +1,1 @@
-lib/mappers/sa_spatial.ml: Mapper Ocgra_arch Ocgra_core Ocgra_meta Problem Spatial_common Taxonomy
+lib/mappers/sa_spatial.ml: Deadline Mapper Ocgra_arch Ocgra_core Ocgra_meta Problem Spatial_common Taxonomy

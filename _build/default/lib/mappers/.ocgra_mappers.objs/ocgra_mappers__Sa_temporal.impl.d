@@ -1,1 +1,1 @@
-lib/mappers/sa_temporal.ml: Array Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_meta Ocgra_util Op Problem Taxonomy
+lib/mappers/sa_temporal.ml: Array Deadline Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_meta Ocgra_util Op Problem Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/sat_temporal.ml: Array Dfg Fun Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_sat Op Problem Taxonomy
+lib/mappers/sat_temporal.ml: Array Deadline Dfg Fun Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_sat Op Problem Taxonomy

@@ -1,1 +1,1 @@
-lib/mappers/smt_temporal.ml: Array Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_sat Ocgra_smt Op Printf Problem Taxonomy
+lib/mappers/smt_temporal.ml: Array Deadline Dfg Finalize Fun List Mapper Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_graph Ocgra_sat Ocgra_smt Op Printf Problem Taxonomy

@@ -15,7 +15,7 @@ module Rng = Ocgra_util.Rng
 
 exception Found of Mapping.t
 
-let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes =
+let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes ~dl =
   let state = Place_route.create p ~ii in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let order = Array.of_list (Constructive.topo_order_by_height rng p.dfg) in
@@ -58,7 +58,7 @@ let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes =
       in
       List.iter
         (fun (t, pe) ->
-          if !expanded < max_nodes then begin
+          if !expanded < max_nodes && not (Deadline.expired dl) then begin
             incr expanded;
             if Place_route.place state v ~pe ~time:t then begin
               go (i + 1);
@@ -73,18 +73,19 @@ let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes =
   | () -> (None, !expanded, !complete)
   | exception Found m -> (Some m, !expanded, !complete)
 
-let map ?(beam = 10) ?(max_nodes = 40_000) (p : Problem.t) rng =
+let map ?(beam = 10) ?(max_nodes = 40_000) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   match p.kind with
   | Problem.Spatial ->
-      let m, expanded, _ = attempt p rng ~ii:1 ~beam ~max_nodes in
+      let m, expanded, _ = attempt p rng ~ii:1 ~beam ~max_nodes ~dl in
       (m, expanded, false)
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let total = ref 0 in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
-          let m, expanded, complete = attempt p rng ~ii ~beam ~max_nodes in
+          let m, expanded, complete = attempt p rng ~ii ~beam ~max_nodes ~dl in
           total := !total + expanded;
           match m with
           | Some m -> (Some m, ii = mii && complete)
@@ -97,8 +98,8 @@ let map ?(beam = 10) ?(max_nodes = 40_000) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"branch-and-bound" ~citation:"Karunaratne et al. [42]; Das et al. [24]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_bb
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

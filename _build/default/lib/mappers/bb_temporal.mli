@@ -10,12 +10,16 @@ val attempt :
   ii:int ->
   beam:int ->
   max_nodes:int ->
+  dl:Ocgra_core.Deadline.t ->
   Ocgra_core.Mapping.t option * int * bool
 
-(** (mapping, total nodes expanded, proven optimal at MII). *)
+(** (mapping, total nodes expanded, proven optimal at MII).
+    [deadline_s] bounds the run in wall-clock seconds (checked per
+    expanded search node). *)
 val map :
   ?beam:int ->
   ?max_nodes:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -94,13 +94,16 @@ let attempt (p : Problem.t) rng ~ii ~time_slack =
   in
   if ok then Place_route.to_mapping state else None
 
-(* Map at the smallest feasible II with random restarts. *)
-let map ?(restarts = 8) ?(time_slack = 6) (p : Problem.t) rng =
+(* Map at the smallest feasible II with random restarts.  The deadline
+   is polled between attempts (each attempt is short), so an expired
+   budget surfaces as a clean failure. *)
+let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   let attempts = ref 0 in
   match p.kind with
   | Problem.Spatial ->
       let rec go r =
-        if r >= restarts then None
+        if r >= restarts || Deadline.expired dl then None
         else begin
           incr attempts;
           match attempt p rng ~ii:1 ~time_slack with
@@ -112,10 +115,10 @@ let map ?(restarts = 8) ?(time_slack = 6) (p : Problem.t) rng =
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           let rec go r =
-            if r >= restarts then None
+            if r >= restarts || Deadline.expired dl then None
             else begin
               incr attempts;
               match attempt p rng ~ii ~time_slack with

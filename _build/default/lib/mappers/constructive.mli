@@ -20,10 +20,12 @@ val attempt :
   Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> ii:int -> time_slack:int -> Ocgra_core.Mapping.t option
 
 (** Map at the smallest feasible II with random restarts; returns
-    (mapping, attempts, achieved the MII bound). *)
+    (mapping, attempts, achieved the MII bound).  [deadline_s] bounds
+    the run in wall-clock seconds (polled between attempts). *)
 val map :
   ?restarts:int ->
   ?time_slack:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -20,7 +20,7 @@ open Ocgra_core
 module Cp = Ocgra_cp.Solver
 module Rng = Ocgra_util.Rng
 
-let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries =
+let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop =
   let dfg = p.dfg and cgra = p.cgra in
   let npe = Ocgra_arch.Cgra.pe_count cgra in
   let n = Dfg.node_count dfg in
@@ -59,10 +59,13 @@ let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries =
     in
     Array.iteri
       (fun v _ ->
+        (* dead FU slots are simply absent from the channel table, so
+           fault constraints hold by construction *)
         let tuples = ref [] in
         for pe = 0 to npe - 1 do
           for s = 0 to ii - 1 do
-            tuples := [| pe; s; (pe * ii) + s |] :: !tuples
+            if Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii ~time:s then
+              tuples := [| pe; s; (pe * ii) + s |] :: !tuples
           done
         done;
         Cp.table cp [ place.(v); slot.(v); pe_slot.(v) ] !tuples)
@@ -107,7 +110,7 @@ let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries =
         let scored = List.map (fun x -> (((x + v) * 2654435761) lxor salt) land 0xFFFF, x) values in
         List.map snd (List.sort compare scored)
       in
-      match Cp.solve ~max_failures ~value_order cp with
+      match Cp.solve ~max_failures ~should_stop ~value_order cp with
       | None -> None (* propagation-complete failure: infeasible at this II/horizon *)
       | Some sol ->
           let binding = Array.init n (fun v -> (sol.(place.(v)), sol.(time.(v)))) in
@@ -118,17 +121,19 @@ let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries =
   in
   retry routing_retries
 
-let map ?(max_failures = 15_000) ?(routing_retries = 5) (p : Problem.t) rng =
+let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
+  let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           incr attempts;
-          match try_ii p rng ~ii ~max_failures ~routing_retries with
+          match try_ii p rng ~ii ~max_failures ~routing_retries ~should_stop with
           | Some m -> (Some m, ii = mii)
           | None -> over_ii (ii + 1)
         end
@@ -139,8 +144,8 @@ let map ?(max_failures = 15_000) ?(routing_retries = 5) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"cp" ~citation:"Raffin et al. [43]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_cp
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -4,10 +4,12 @@
     hop-distance tables; routing is lazy (strict route + randomised
     re-solve on failure). *)
 
-(** (mapping, attempts, proven optimal at MII). *)
+(** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
+    the run in wall-clock seconds (threaded into the CP search). *)
 val map :
   ?max_failures:int ->
   ?routing_retries:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

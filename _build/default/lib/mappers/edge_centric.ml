@@ -88,12 +88,13 @@ let attempt (p : Problem.t) rng ~ii =
   in
   if ok then Place_route.to_mapping state else None
 
-let map ?(restarts = 8) (p : Problem.t) rng =
+let map ?(restarts = 8) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   let attempts = ref 0 in
   match p.kind with
   | Problem.Spatial ->
       let rec go r =
-        if r >= restarts then None
+        if r >= restarts || Deadline.expired dl then None
         else begin
           incr attempts;
           match attempt p rng ~ii:1 with Some m -> Some m | None -> go (r + 1)
@@ -103,10 +104,10 @@ let map ?(restarts = 8) (p : Problem.t) rng =
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           let rec go r =
-            if r >= restarts then None
+            if r >= restarts || Deadline.expired dl then None
             else begin
               incr attempts;
               match attempt p rng ~ii with Some m -> Some m | None -> go (r + 1)
@@ -121,8 +122,8 @@ let map ?(restarts = 8) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"edge-centric" ~citation:"Park et al. EMS [37]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -5,9 +5,11 @@
 val attempt :
   Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> ii:int -> Ocgra_core.Mapping.t option
 
-(** (mapping, attempts, proven optimal at MII). *)
+(** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
+    the run in wall-clock seconds (checked between restarts). *)
 val map :
   ?restarts:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -4,11 +4,13 @@
 
 open Ocgra_core
 
-let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) (p : Problem.t) rng =
+let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s (p : Problem.t)
+    rng =
+  let dl = Deadline.of_seconds deadline_s in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let attempts = ref 0 in
   let rec go k =
-    if k <= 0 then None
+    if k <= 0 || Deadline.expired dl then None
     else begin
       incr attempts;
       let best, _fit, _stats =
@@ -28,8 +30,8 @@ let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) (p : Proble
 let mapper =
   Mapper.make ~name:"genmap-ga" ~citation:"Kojima et al. GenMap [19]"
     ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_population "GA")
-    (fun p rng ->
-      let m, attempts = map p rng in
+    (fun p rng dl ->
+      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -1,9 +1,11 @@
 (** GenMap-style spatial mapping by genetic algorithm ([19]). *)
 
-(** (mapping, attempts). *)
+(** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
+    seconds (checked between extractions). *)
 val map :
   ?config:Ocgra_meta.Ga.config ->
   ?extractions:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

@@ -84,10 +84,11 @@ let snap (p : Problem.t) (x, y) =
   in
   if ok then Some genome else None
 
-let map ?(restarts = 10) (p : Problem.t) rng =
+let map ?(restarts = 10) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   let attempts = ref 0 in
   let rec go r =
-    if r >= restarts then None
+    if r >= restarts || Deadline.expired dl then None
     else begin
       incr attempts;
       let pos = layout p rng ~iterations:60 in
@@ -102,8 +103,8 @@ let map ?(restarts = 10) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"graph-drawing" ~citation:"Yoon et al. [23]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts = map p rng in
+    (fun p rng dl ->
+      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -10,8 +10,13 @@ val layout :
     cell. *)
 val snap : Ocgra_core.Problem.t -> float array * float array -> int array option
 
-(** (mapping, attempts). *)
+(** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
+    seconds (checked between restarts). *)
 val map :
-  ?restarts:int -> Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int
+  ?restarts:int ->
+  ?deadline_s:float ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int
 
 val mapper : Ocgra_core.Mapper.t

@@ -4,7 +4,10 @@
      greedy placement and routing (temporal x heuristics cell; the
      lineage of [12], [36], [61] and the deterministic core of DRESC).
    - [greedy_spatial_mapper]: the same engine pinned at II = 1
-     (spatial x heuristics; straight-forward mapping).  *)
+     (spatial x heuristics; straight-forward mapping).
+   - [constructive_mapper]: the bare engine accepting either problem
+     kind, with a deep restart budget — the last-resort tier of a
+     fallback chain (not part of the Table I registry). *)
 
 open Ocgra_core
 
@@ -12,12 +15,14 @@ let modulo_mapper =
   Mapper.make ~name:"modulo-greedy"
     ~citation:"Bondalapati & Prasanna [12]; Mei et al. [61]; Zhao et al. [36]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng ->
+    (fun p rng dl ->
       match p.kind with
       | Problem.Spatial ->
           Mapper.no_mapping ~note:"temporal mapper on spatial problem" ~attempts:0 ~elapsed_s:0.0 ()
       | Problem.Temporal _ ->
-          let m, attempts, proven = Constructive.map ~restarts:16 p rng in
+          let m, attempts, proven =
+            Constructive.map ~restarts:16 ?deadline_s:(Deadline.remaining_s dl) p rng
+          in
           {
             Mapper.mapping = m;
             proven_optimal = proven && m <> None;
@@ -29,12 +34,29 @@ let modulo_mapper =
 let greedy_spatial_mapper =
   Mapper.make ~name:"greedy-spatial" ~citation:"Yoon et al. [23] (baseline); ChordMap [31]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts, _ = Constructive.map ~restarts:24 p rng in
+    (fun p rng dl ->
+      let m, attempts, _ =
+        Constructive.map ~restarts:24 ?deadline_s:(Deadline.remaining_s dl) p rng
+      in
       {
         Mapper.mapping = m;
         proven_optimal = false;
         attempts;
         elapsed_s = 0.0;
         note = "topological greedy placement + strict routing at II = 1";
+      })
+
+let constructive_mapper =
+  Mapper.make ~name:"constructive" ~citation:"iterative modulo scheduling lineage [12]"
+    ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
+    (fun p rng dl ->
+      let m, attempts, proven =
+        Constructive.map ~restarts:32 ~time_slack:8 ?deadline_s:(Deadline.remaining_s dl) p rng
+      in
+      {
+        Mapper.mapping = m;
+        proven_optimal = proven && m <> None;
+        attempts;
+        elapsed_s = 0.0;
+        note = "constructive greedy place-and-route (fallback tier)";
       })

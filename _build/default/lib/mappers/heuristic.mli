@@ -6,3 +6,9 @@ val modulo_mapper : Ocgra_core.Mapper.t
 
 (** Spatial x heuristics: the same engine pinned at II = 1. *)
 val greedy_spatial_mapper : Ocgra_core.Mapper.t
+
+(** The bare constructive engine for either problem kind with a deep
+    restart budget: the last-resort tier of a fallback chain.  Not part
+    of the Table I registry list; resolvable by name via
+    {!Registry.find}. *)
+val constructive_mapper : Ocgra_core.Mapper.t

@@ -26,11 +26,17 @@ let capable (p : Problem.t) v =
 
 (* ---------- spatial ---------- *)
 
-let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter =
+let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
   let n = Dfg.node_count p.dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let m = Model.create ~maximize:false () in
-  let w = Array.init n (fun v -> List.map (fun pe -> (pe, Model.binary m (Printf.sprintf "w_%d_%d" v pe))) (capable p v)) in
+  (* at II = 1 a dead slot 0 removes the whole cell *)
+  let usable v =
+    List.filter
+      (fun pe -> Ocgra_arch.Cgra.slot_ok p.cgra ~pe ~ii:1 ~time:0)
+      (capable p v)
+  in
+  let w = Array.init n (fun v -> List.map (fun pe -> (pe, Model.binary m (Printf.sprintf "w_%d_%d" v pe))) (usable v)) in
   (* each op exactly one PE *)
   Array.iter (fun ws -> Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) ws) Lp.Eq 1.0) w;
   (* each PE at most one op *)
@@ -62,7 +68,7 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter =
            List.map (fun (_, x) -> (float_of_int (Rng.int rng jitter) /. 100.0, x)) ws)
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:500 ~time_limit:1.5 m with
+  match Model.solve ~max_nodes:500 ~time_limit:1.5 ~should_stop m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let genome = Array.make n (-1) in
       Array.iteri
@@ -71,16 +77,22 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter =
       if Array.for_all (fun pe -> pe >= 0) genome then Some genome else None
   | _ -> None
 
-let spatial_map ?(retries = 3) (p : Problem.t) rng =
+let spatial_map ?(retries = 3) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
+  let should_stop = Deadline.should_stop dl in
   let attempts = ref 0 in
   let rec caps cap =
-    if cap > 3 then None
+    if cap > 3 || Deadline.expired dl then None
     else begin
       let rec go k =
-        if k <= 0 then None
+        if k <= 0 || Deadline.expired dl then None
         else begin
           incr attempts;
-          match spatial_solve p rng ~distance_cap:cap ~jitter:(if k = retries then 1 else 50) with
+          match
+            spatial_solve p rng ~distance_cap:cap
+              ~jitter:(if k = retries then 1 else 50)
+              ~should_stop
+          with
           | None -> None (* infeasible at this cap: escalate *)
           | Some genome -> (
               match Spatial_common.extract p genome with
@@ -96,8 +108,8 @@ let spatial_map ?(retries = 3) (p : Problem.t) rng =
 let spatial =
   Mapper.make ~name:"ilp-spatial" ~citation:"Chin & Anderson [34]; Yoon et al. [23]; Nowatzki et al. [35]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Exact_ilp
-    (fun p rng ->
-      let m, attempts = spatial_map p rng in
+    (fun p rng dl ->
+      let m, attempts = spatial_map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;
@@ -108,7 +120,7 @@ let spatial =
 
 (* ---------- joint temporal (small arrays) ---------- *)
 
-let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter =
+let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
   let dfg = p.dfg in
   let n = Dfg.node_count dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
@@ -119,9 +131,10 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter =
     Array.init n (fun v ->
         List.concat_map
           (fun pe ->
-            List.init win (fun k ->
-                let t = asap.(v) + k in
-                (pe, t, Model.binary m (Printf.sprintf "x_%d_%d_%d" v pe t))))
+            List.init win (fun k -> asap.(v) + k)
+            |> List.filter (fun t -> Ocgra_arch.Cgra.slot_ok p.cgra ~pe ~ii ~time:t)
+            |> List.map (fun t ->
+                   (pe, t, Model.binary m (Printf.sprintf "x_%d_%d_%d" v pe t))))
           (capable p v))
   in
   Array.iter
@@ -180,7 +193,7 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter =
     |> List.map (fun (c, x) -> (c +. (float_of_int (Rng.int rng jitter) /. 100.0), x))
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:600 ~time_limit:2.0 m with
+  match Model.solve ~max_nodes:600 ~time_limit:2.0 ~should_stop m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let binding = Array.make n (-1, -1) in
       Array.iteri
@@ -195,16 +208,21 @@ let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) (p : Probl
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
-      let t_start = Sys.time () in
+      let dl = Deadline.after ~seconds:deadline_s in
+      let should_stop = Deadline.should_stop dl in
       let rec over_ii ii =
-        if ii > max_ii || Sys.time () -. t_start > deadline_s then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           let win = ii + win_slack in
           let rec go k =
-            if k <= 0 then None
+            if k <= 0 || Deadline.expired dl then None
             else begin
               incr attempts;
-              match temporal_solve p rng ~ii ~win ~jitter:(if k = retries then 1 else 80) with
+              match
+                temporal_solve p rng ~ii ~win
+                  ~jitter:(if k = retries then 1 else 80)
+                  ~should_stop
+              with
               | None -> None
               | Some binding -> (
                   match Finalize.of_binding p ~ii binding with
@@ -221,8 +239,10 @@ let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) (p : Probl
 let temporal =
   Mapper.make ~name:"ilp-temporal" ~citation:"Brenner et al. [41]; Guo et al. [15]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_ilp
-    (fun p rng ->
-      let m, attempts, proven = temporal_map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven =
+        temporal_map ?deadline_s:(Deadline.remaining_s dl) p rng
+      in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
@@ -234,7 +254,7 @@ let temporal =
 (* ---------- scheduling-only ---------- *)
 
 (* Re-time a fixed binding with a time-indexed ILP, then route. *)
-let schedule_solve (p : Problem.t) ~ii ~win (pes : int array) =
+let schedule_solve (p : Problem.t) ~ii ~win ~should_stop (pes : int array) =
   let dfg = p.dfg in
   let n = Dfg.node_count dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
@@ -242,9 +262,9 @@ let schedule_solve (p : Problem.t) ~ii ~win (pes : int array) =
   let m = Model.create ~maximize:false () in
   let cands =
     Array.init n (fun v ->
-        List.init win (fun k ->
-            let t = asap.(v) + k in
-            (t, Model.binary m (Printf.sprintf "s_%d_%d" v t))))
+        List.init win (fun k -> asap.(v) + k)
+        |> List.filter (fun t -> Ocgra_arch.Cgra.slot_ok p.cgra ~pe:pes.(v) ~ii ~time:t)
+        |> List.map (fun t -> (t, Model.binary m (Printf.sprintf "s_%d_%d" v t))))
   in
   Array.iter (fun cs -> Model.add_constraint m (List.map (fun (_, x) -> (1.0, x)) cs) Lp.Eq 1.0) cands;
   (* FU slot capacity per (pe, slot) among nodes sharing the PE *)
@@ -278,20 +298,22 @@ let schedule_solve (p : Problem.t) ~ii ~win (pes : int array) =
         (float_of_int (lat + needed - (e.dist * ii))))
     (Dfg.edges dfg);
   Model.set_objective m (Array.to_list cands |> List.concat |> List.map (fun (t, x) -> (float_of_int t, x)));
-  match Model.solve ~max_nodes:800 ~time_limit:2.0 m with
+  match Model.solve ~max_nodes:800 ~time_limit:2.0 ~should_stop m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let times = Array.make n (-1) in
       Array.iteri (fun v cs -> List.iter (fun (t, x) -> if values.(x) = 1 then times.(v) <- t) cs) cands;
       if Array.for_all (fun t -> t >= 0) times then Some times else None
   | _ -> None
 
-let schedule_map (p : Problem.t) rng =
+let schedule_map ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
+  let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0)
   | Problem.Temporal _ ->
       (* binding skeleton from the constructive heuristic *)
       let attempts = ref 0 in
-      (match Constructive.map ~restarts:8 p rng with
+      (match Constructive.map ~restarts:8 ?deadline_s:(Deadline.remaining_s dl) p rng with
       | None, a, _ ->
           attempts := a;
           (None, !attempts)
@@ -300,7 +322,7 @@ let schedule_map (p : Problem.t) rng =
           let ii = base.Mapping.ii in
           let pes = Array.map fst base.Mapping.binding in
           incr attempts;
-          (match schedule_solve p ~ii ~win:(ii + 4) pes with
+          (match schedule_solve p ~ii ~win:(ii + 4) ~should_stop pes with
           | None -> (Some base, !attempts) (* keep the heuristic schedule *)
           | Some times ->
               let binding = Array.mapi (fun v t -> (pes.(v), t)) times in
@@ -311,8 +333,8 @@ let schedule_map (p : Problem.t) rng =
 let schedule =
   Mapper.make ~name:"ilp-schedule" ~citation:"Guo et al. [15]; Mu et al. [53]"
     ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Exact_ilp
-    (fun p rng ->
-      let m, attempts = schedule_map p rng in
+    (fun p rng dl ->
+      let m, attempts = schedule_map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -18,7 +18,11 @@ val schedule : Ocgra_core.Mapper.t
     the bench. *)
 
 val spatial_map :
-  ?retries:int -> Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int
+  ?retries:int ->
+  ?deadline_s:float ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int
 
 val temporal_map :
   ?retries:int ->
@@ -29,4 +33,7 @@ val temporal_map :
   Ocgra_core.Mapping.t option * int * bool
 
 val schedule_map :
-  Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int
+  ?deadline_s:float ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int

@@ -73,6 +73,8 @@ let bind (p : Problem.t) ~ii times =
       let pe = hid / ii and slot = hid mod ii in
       let t = Hashtbl.find times_of pid in
       t mod ii = slot
+      && Ocgra_arch.Cgra.pe_ok cgra pe
+      && Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii ~time:slot
       &&
       match Hashtbl.find kind_of pid with
       | P_op v -> Ocgra_arch.Cgra.supports cgra pe (Dfg.op dfg v)
@@ -93,17 +95,18 @@ let bind (p : Problem.t) ~ii times =
         Some { Mapping.ii; binding; routes }
   end
 
-let map (p : Problem.t) rng =
+let map ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           let rec go r =
-            if r >= 4 then None
+            if r >= 4 || Deadline.expired dl then None
             else begin
               incr attempts;
               match Sched.modulo_list_schedule p rng ~ii with
@@ -121,8 +124,8 @@ let map (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"iso-binding" ~citation:"Hamzeh et al. EPIMap [28]; Chen & Mitra [27]; Peyret et al. [47]"
     ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

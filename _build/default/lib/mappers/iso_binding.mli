@@ -8,8 +8,12 @@
 (** Bind a scheduled DFG; [None] when the embedding search fails. *)
 val bind : Ocgra_core.Problem.t -> ii:int -> int array -> Ocgra_core.Mapping.t option
 
-(** (mapping, attempts, proven optimal at MII). *)
+(** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
+    the run in wall-clock seconds (checked between attempts). *)
 val map :
-  Ocgra_core.Problem.t -> Ocgra_util.Rng.t -> Ocgra_core.Mapping.t option * int * bool
+  ?deadline_s:float ->
+  Ocgra_core.Problem.t ->
+  Ocgra_util.Rng.t ->
+  Ocgra_core.Mapping.t option * int * bool
 
 val mapper : Ocgra_core.Mapper.t

@@ -33,7 +33,7 @@ let create (problem : Problem.t) ~ii =
   {
     problem;
     ii;
-    occ = Occupancy.create ~npe:(Cgra.pe_count problem.cgra) ~ii;
+    occ = Occupancy.create ~cgra:problem.cgra ~npe:(Cgra.pe_count problem.cgra) ~ii ();
     binding = Array.make n (-1, -1);
     placed = Array.make n false;
     routes = Array.make (Array.length edges) None;
@@ -64,7 +64,7 @@ let try_claim_route t edge_idx (route : Mapping.route) =
             (* claim cycle by cycle: a hold spanning >= II cycles lands
                several times on the same modulo slot, so a single
                up-front capacity test would under-count its own load *)
-            let size = (Cgra.pe cgra pe).Pe.rf_size in
+            let size = Cgra.effective_rf_size cgra pe in
             let rec claim_cycles cy =
               if cy > until then true
               else if Occupancy.rf_count t.occ ~pe ~time:cy < size then begin

@@ -30,12 +30,25 @@ let all : Mapper.t list =
     Ilp_mappers.schedule;
   ]
 
+(* Extra mappers that are findable by name but not part of the Table I
+   bench set — notably the plain constructive fallback tier used by the
+   Harness. *)
+let extras : Mapper.t list = [ Heuristic.constructive_mapper ]
+
 let find name =
-  match List.find_opt (fun (m : Mapper.t) -> m.name = name) all with
+  match List.find_opt (fun (m : Mapper.t) -> m.name = name) (all @ extras) with
   | Some m -> m
   | None -> invalid_arg (Printf.sprintf "Registry.find: unknown mapper %s" name)
 
 let names () = List.map (fun (m : Mapper.t) -> m.Mapper.name) all
+
+(* Parse a comma-separated fallback chain spec, e.g.
+   "sat,modulo-greedy,constructive". *)
+let chain_of_spec spec =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map find
 
 let spatial_mappers =
   List.filter (fun (m : Mapper.t) -> m.scope = Taxonomy.Spatial_mapping) all

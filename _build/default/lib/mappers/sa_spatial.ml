@@ -5,11 +5,12 @@
 open Ocgra_core
 
 let map ?(config = { Ocgra_meta.Sa.default_config with max_steps = 20_000 }) ?(extractions = 10)
-    (p : Problem.t) rng =
+    ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let attempts = ref 0 in
   let rec go k =
-    if k <= 0 then None
+    if k <= 0 || Deadline.expired dl then None
     else begin
       incr attempts;
       let init = Spatial_common.random_genome p rng in
@@ -28,8 +29,8 @@ let map ?(config = { Ocgra_meta.Sa.default_config with max_steps = 20_000 }) ?(e
 let mapper =
   Mapper.make ~name:"sa-spatial" ~citation:"Friedman et al. SPR [49]; SNAFU [33]; DSAGEN [32]"
     ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_local "SA")
-    (fun p rng ->
-      let m, attempts = map p rng in
+    (fun p rng dl ->
+      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

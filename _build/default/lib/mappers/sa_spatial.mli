@@ -1,10 +1,12 @@
 (** Spatial mapping by simulated annealing over placements (the
     SPR/SNAFU/DSAGEN school [49], [33], [32]). *)
 
-(** (mapping, attempts). *)
+(** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
+    seconds (checked between extractions). *)
 val map :
   ?config:Ocgra_meta.Sa.config ->
   ?extractions:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

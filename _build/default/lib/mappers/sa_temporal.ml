@@ -96,17 +96,18 @@ let try_ii (p : Problem.t) rng ~ii ~config =
   in
   attempt_extract 8 best
 
-let map ?(config = Ocgra_meta.Sa.default_config) (p : Problem.t) rng =
+let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s (p : Problem.t) rng =
+  let dl = Deadline.of_seconds deadline_s in
   match p.kind with
   | Problem.Spatial -> invalid_arg "Sa_temporal.map: use Sa_spatial for spatial problems"
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
       let rec over_ii ii =
-        if ii > max_ii then (None, !attempts, false)
+        if ii > max_ii || Deadline.expired dl then (None, !attempts, false)
         else begin
           let rec restarts k =
-            if k <= 0 then None
+            if k <= 0 || Deadline.expired dl then None
             else begin
               incr attempts;
               match try_ii p rng ~ii ~config with
@@ -124,8 +125,8 @@ let map ?(config = Ocgra_meta.Sa.default_config) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"dresc-sa" ~citation:"Mei et al. [22]; Hatanaka & Bagherzadeh [30]"
     ~scope:Taxonomy.Temporal_mapping ~approach:(Taxonomy.Meta_local "SA")
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

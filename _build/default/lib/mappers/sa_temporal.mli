@@ -16,9 +16,11 @@ val try_ii :
   config:Ocgra_meta.Sa.config ->
   Ocgra_core.Mapping.t option
 
-(** (mapping, attempts, proven optimal at MII). *)
+(** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
+    the run in wall-clock seconds (checked between restarts). *)
 val map :
   ?config:Ocgra_meta.Sa.config ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -50,23 +50,28 @@ let build (p : Problem.t) ~ii ~slack =
         Hashtbl.add tbl key l;
         l
   in
-  (* x vars on capable cells within the window *)
+  (* x vars on capable cells within the window, skipping dead FU slots
+     so fault constraints are honoured by construction *)
   for v = 0 to n - 1 do
     let lo, hi = window v in
     for pe = 0 to npe - 1 do
       if Ocgra_arch.Cgra.supports cgra pe (Dfg.op dfg v) then
         for t = lo to hi do
-          ignore (getvar x (v, pe, t))
+          if Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii ~time:t then ignore (getvar x (v, pe, t))
         done
     done
   done;
-  (* y/h vars for every edge, every pe, every cycle up to ty *)
+  (* y/h vars for every edge, every pe, every cycle up to ty.  No h var
+     on a faulted resource: a downed PE cannot hop, a readable value
+     there is never justified (its y is forced false below). *)
   Array.iteri
     (fun e (_ : Dfg.edge) ->
       for pe = 0 to npe - 1 do
+        let alive = Ocgra_arch.Cgra.pe_ok cgra pe in
         for t = 0 to ty - 1 do
           ignore (getvar y (e, pe, t));
-          ignore (getvar h (e, pe, t))
+          if alive && Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii ~time:t then
+            ignore (getvar h (e, pe, t))
         done
       done)
     edges;
@@ -203,8 +208,10 @@ let extract (p : Problem.t) inst ~ii =
   in
   { Mapping.ii; binding; routes }
 
-let map ?(slack = 3) ?(max_conflicts = 300_000) (p : Problem.t) rng =
+let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s (p : Problem.t) rng =
   ignore rng;
+  let dl = Deadline.of_seconds deadline_s in
+  let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false, "spatial problems use the ILP/heuristic spatial mappers")
   | Problem.Temporal { max_ii; _ } ->
@@ -212,10 +219,11 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) (p : Problem.t) rng =
       let attempts = ref 0 in
       let rec over_ii ii budget_hit =
         if ii > max_ii then (None, !attempts, false, if budget_hit then "budget" else "unsat up to max II")
+        else if Deadline.expired dl then (None, !attempts, false, "deadline")
         else begin
           incr attempts;
           let inst = build p ~ii ~slack in
-          match Sat.solve ~max_conflicts inst.sat with
+          match Sat.solve ~max_conflicts ~should_stop inst.sat with
           | Sat.Sat ->
               let m = extract p inst ~ii in
               (* proven optimal when every smaller II was refuted without
@@ -230,8 +238,8 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"sat" ~citation:"Miyasaka et al. [17]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_sat
-    (fun p rng ->
-      let m, attempts, proven, note = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven, note = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -4,10 +4,13 @@
     the schedule window.  Routes use FU hops only (no RF holds) and
     fan-out edges route separately; see DESIGN.md. *)
 
-(** (mapping, attempts, proven optimal, note). *)
+(** (mapping, attempts, proven optimal, note).  [deadline_s] bounds the
+    run in wall-clock seconds (threaded into the CDCL search as a
+    [should_stop] hook). *)
 val map :
   ?slack:int ->
   ?max_conflicts:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool * string

@@ -18,7 +18,9 @@ let modulo_list_schedule ?(horizon_slack = 8) (p : Problem.t) rng ~ii =
   let capacity cls =
     List.length
       (List.filter
-         (fun pe -> Ocgra_arch.Pe.has_class (Ocgra_arch.Cgra.pe cgra pe) cls)
+         (fun pe ->
+           Ocgra_arch.Cgra.pe_ok cgra pe
+           && Ocgra_arch.Pe.has_class (Ocgra_arch.Cgra.pe cgra pe) cls)
          (List.init (Ocgra_arch.Cgra.pe_count cgra) Fun.id))
   in
   let cap = List.map (fun c -> (c, capacity c)) classes in

@@ -53,17 +53,17 @@ let greedy_bind (p : Problem.t) rng ~ii times =
   in
   if ok then Place_route.to_mapping state else None
 
-let with_schedule (p : Problem.t) rng ~restarts bind =
+let with_schedule (p : Problem.t) rng ~restarts ~dl bind =
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
       let rec over_ii ii =
-        if ii > max_ii then (None, false)
+        if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           let rec go r =
-            if r >= restarts then None
+            if r >= restarts || Deadline.expired dl then None
             else begin
               incr attempts;
               match Sched.modulo_list_schedule p rng ~ii with
@@ -81,8 +81,8 @@ let with_schedule (p : Problem.t) rng ~restarts bind =
 let list_scheduling =
   Mapper.make ~name:"list-scheduling" ~citation:"Zhao et al. [36]; Das et al. [24]; Bansal et al. [51]"
     ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts, proven = with_schedule p rng ~restarts:10 (greedy_bind p rng) in
+    (fun p rng dl ->
+      let m, attempts, proven = with_schedule p rng ~restarts:10 ~dl (greedy_bind p rng) in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
@@ -146,8 +146,8 @@ let clique_bind (p : Problem.t) ~ii times =
 let clique_binding =
   Mapper.make ~name:"clique-binding" ~citation:"Dave et al. RAMP [38]; Hamzeh et al. REGIMap [46]"
     ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
-    (fun p rng ->
-      let m, attempts, proven = with_schedule p rng ~restarts:4 (clique_bind p) in
+    (fun p rng dl ->
+      let m, attempts, proven = with_schedule p rng ~restarts:4 ~dl (clique_bind p) in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
@@ -219,8 +219,8 @@ let qea_bind (p : Problem.t) rng ~ii times =
 let qea_binding =
   Mapper.make ~name:"qea-binding" ~citation:"Lee et al. [48]"
     ~scope:Taxonomy.Binding_only ~approach:(Taxonomy.Meta_population "QEA")
-    (fun p rng ->
-      let m, attempts, proven = with_schedule p rng ~restarts:6 (qea_bind p rng) in
+    (fun p rng dl ->
+      let m, attempts, proven = with_schedule p rng ~restarts:6 ~dl (qea_bind p rng) in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -14,7 +14,7 @@ module Smt = Ocgra_smt.Smt
 module Sat = Ocgra_sat.Solver
 module Enc = Ocgra_sat.Encodings
 
-let try_ii (p : Problem.t) ~ii ~routing_retries =
+let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop =
   let dfg = p.dfg and cgra = p.cgra in
   let npe = Ocgra_arch.Cgra.pe_count cgra in
   let n = Dfg.node_count dfg in
@@ -72,7 +72,7 @@ let try_ii (p : Problem.t) ~ii ~routing_retries =
   let rec extract_loop k =
     if k <= 0 then None
     else begin
-      match Smt.solve ~max_rounds:400 ~max_conflicts:200_000 smt with
+      match Smt.solve ~max_rounds:400 ~max_conflicts:200_000 ~should_stop smt with
       | Smt.Unsat_ | Smt.Unknown_ -> None
       | Smt.Sat_ ->
           let z = Smt.int_value smt zero in
@@ -103,8 +103,10 @@ let try_ii (p : Problem.t) ~ii ~routing_retries =
   in
   extract_loop routing_retries
 
-let map ?(routing_retries = 6) (p : Problem.t) rng =
+let map ?(routing_retries = 6) ?deadline_s (p : Problem.t) rng =
   ignore rng;
+  let dl = Deadline.of_seconds deadline_s in
+  let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
@@ -114,10 +116,10 @@ let map ?(routing_retries = 6) (p : Problem.t) rng =
         let mii = Mii.mii p.dfg p.cgra in
         let attempts = ref 0 in
         let rec over_ii ii =
-          if ii > max_ii then (None, false)
+          if ii > max_ii || Deadline.expired dl then (None, false)
           else begin
             incr attempts;
-            match try_ii p ~ii ~routing_retries with
+            match try_ii p ~ii ~routing_retries ~should_stop with
             | Some m -> (Some m, ii = mii)
             | None -> over_ii (ii + 1)
           end
@@ -129,8 +131,8 @@ let map ?(routing_retries = 6) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"smt" ~citation:"Donovick et al. [44]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_smt
-    (fun p rng ->
-      let m, attempts, proven = map p rng in
+    (fun p rng dl ->
+      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

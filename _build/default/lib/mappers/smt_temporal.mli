@@ -3,9 +3,12 @@
     difference logic with placement-conditional atoms; routing is lazy
     with placement blocking clauses. *)
 
-(** (mapping, attempts, proven optimal at MII). *)
+(** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
+    the run in wall-clock seconds (threaded into the lazy SMT loop and
+    the inner SAT search). *)
 val map :
   ?routing_retries:int ->
+  ?deadline_s:float ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -445,7 +445,7 @@ let luby x =
 
 (* ---------- main search ---------- *)
 
-let solve ?(max_conflicts = max_int) ?(assumptions = []) t =
+let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumptions = []) t =
   if not t.ok then Unsat
   else begin
     cancel_until t 0;
@@ -458,6 +458,17 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) t =
       let result = ref Unknown in
       let finished = ref false in
       let restart_count = ref 0 in
+      (* wall-clock polling, amortised: consult [should_stop] every few
+         hundred loop iterations so the hook stays off the hot path *)
+      let polls = ref 0 in
+      let stop_requested = ref false in
+      let poll_stop () =
+        if not !stop_requested then begin
+          incr polls;
+          if !polls land 255 = 0 && should_stop () then stop_requested := true
+        end;
+        !stop_requested
+      in
       while not !finished do
         let budget = 100 * luby !restart_count in
         incr restart_count;
@@ -480,7 +491,7 @@ let solve ?(max_conflicts = max_int) ?(assumptions = []) t =
               decay_activities t
             end
           end
-          else if t.conflicts - start_conflicts >= max_conflicts then begin
+          else if t.conflicts - start_conflicts >= max_conflicts || poll_stop () then begin
             result := Unknown;
             finished := true
           end

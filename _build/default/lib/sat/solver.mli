@@ -30,10 +30,13 @@ val new_vars : t -> int -> int list
     UNSAT. Raises [Invalid_argument] on unknown variables. *)
 val add_clause : t -> lit list -> unit
 
-(** [solve ?max_conflicts ?assumptions t]: [Unknown] when the conflict
-    budget runs out; UNSAT under assumptions leaves the instance
-    usable. After [Sat], read the model with {!value}. *)
-val solve : ?max_conflicts:int -> ?assumptions:lit list -> t -> result
+(** [solve ?max_conflicts ?should_stop ?assumptions t]: [Unknown] when
+    the conflict budget runs out or [should_stop] (polled at amortised
+    checkpoints, e.g. a wall-clock deadline) returns true; UNSAT under
+    assumptions leaves the instance usable. After [Sat], read the model
+    with {!value}. *)
+val solve :
+  ?max_conflicts:int -> ?should_stop:(unit -> bool) -> ?assumptions:lit list -> t -> result
 
 (** Model value of a variable (meaningful after [Sat]). *)
 val value : t -> int -> bool

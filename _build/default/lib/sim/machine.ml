@@ -60,7 +60,47 @@ type instr =
   | I_node of int (* DFG node *)
   | I_hop of int * source (* edge index, where the hop reads from *)
 
+(* The machine refuses to execute on faulted resources: even if a
+   mapping somehow passed (or bypassed) the static checker, a faulted
+   PE, link or FU slot has no working silicon behind it.  This is an
+   independent second check, deliberately not shared with Check. *)
+let refuse_faults (p : Problem.t) (m : Mapping.t) =
+  let cgra = p.cgra in
+  if Ocgra_arch.Cgra.faults cgra <> [] then begin
+    let refuse ~cycle ~pe fmt =
+      Printf.ksprintf (fun message -> raise (Simulation_error { cycle; pe; message })) fmt
+    in
+    Array.iteri
+      (fun v (pe, time) ->
+        if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
+          refuse ~cycle:time ~pe "refusing to execute node %d on faulted PE %d (pe-down)" v pe;
+        if not (Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii:m.Mapping.ii ~time) then
+          refuse ~cycle:time ~pe "refusing to execute node %d in dead FU slot (pe %d, slot %d)" v
+            pe (((time mod m.Mapping.ii) + m.Mapping.ii) mod m.Mapping.ii))
+      m.Mapping.binding;
+    let dfg_edges = Array.of_list (Dfg.edges p.dfg) in
+    Array.iteri
+      (fun e route ->
+        let cur = ref (fst m.Mapping.binding.(dfg_edges.(e).Dfg.src)) in
+        List.iter
+          (function
+            | Mapping.Hop { pe; time } ->
+                if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
+                  refuse ~cycle:time ~pe "refusing edge %d hop on faulted PE %d (pe-down)" e pe;
+                if not (Ocgra_arch.Cgra.slot_ok cgra ~pe ~ii:m.Mapping.ii ~time) then
+                  refuse ~cycle:time ~pe "refusing edge %d hop in dead FU slot on PE %d" e pe;
+                if !cur <> pe && not (Ocgra_arch.Cgra.link_ok cgra !cur pe) then
+                  refuse ~cycle:time ~pe "refusing edge %d hop over faulted link %d->%d" e !cur pe;
+                cur := pe
+            | Mapping.Hold { pe; from_; _ } ->
+                if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
+                  refuse ~cycle:from_ ~pe "refusing edge %d hold on faulted PE %d (pe-down)" e pe)
+          route)
+      m.Mapping.routes
+  end
+
 let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
+  refuse_faults p m;
   let dfg = p.dfg in
   let npe = Ocgra_arch.Cgra.pe_count p.cgra in
   let edges = Array.of_list (Dfg.edges dfg) in

@@ -35,7 +35,13 @@ type result = {
 (** Output values in iteration order. *)
 val output_stream : result -> string -> int list
 
-(** Execute [iters] iterations of the mapped kernel. *)
+(** Raises {!Simulation_error} when the mapping uses a faulted PE,
+    link or FU slot — an independent second check in front of {!run},
+    deliberately not shared with the static checker. *)
+val refuse_faults : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> unit
+
+(** Execute [iters] iterations of the mapped kernel.  Refuses (with
+    {!Simulation_error}) mappings that use faulted resources. *)
 val run : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> io -> iters:int -> result
 
 (** Convenience: run and compare each named output stream. *)

@@ -122,12 +122,12 @@ let check_theory t active_edges =
     Some !cycle
   end
 
-let solve ?(max_rounds = 10_000) ?(max_conflicts = max_int) t =
+let solve ?(max_rounds = 10_000) ?(max_conflicts = max_int) ?(should_stop = fun () -> false) t =
   let rec loop round =
-    if round >= max_rounds then Unknown_
+    if round >= max_rounds || should_stop () then Unknown_
     else begin
       t.rounds <- round + 1;
-      match Sat.solve ~max_conflicts t.sat with
+      match Sat.solve ~max_conflicts ~should_stop t.sat with
       | Sat.Unsat -> Unsat_
       | Sat.Unknown -> Unknown_
       | Sat.Sat ->

@@ -27,8 +27,10 @@ val atom_eq_clauses : t -> ivar -> ivar -> int -> unit
 
 val add_clause : t -> Ocgra_sat.Solver.lit list -> unit
 
-(** [Unknown_] when the round or conflict budget runs out. *)
-val solve : ?max_rounds:int -> ?max_conflicts:int -> t -> result
+(** [Unknown_] when the round or conflict budget runs out, or when
+    [should_stop] (also threaded into the inner SAT search) fires. *)
+val solve :
+  ?max_rounds:int -> ?max_conflicts:int -> ?should_stop:(unit -> bool) -> t -> result
 
 (** Integer model (shifted so the minimum is 0); only after [Sat_]. *)
 val int_value : t -> ivar -> int

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Check List Mapper Mapping Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_sim Ocgra_util Ocgra_workloads Printf Problem QCheck QCheck_alcotest String Taxonomy

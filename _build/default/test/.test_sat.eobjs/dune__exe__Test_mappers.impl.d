@@ -1,1 +1,1 @@
-test/test_mappers.ml: Alcotest Array Check Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_util Ocgra_workloads Option Printf Problem Taxonomy
+test/test_mappers.ml: Alcotest Array Check Deadline Hashtbl List Mapper Mapping Mii Ocgra_arch Ocgra_core Ocgra_dfg Ocgra_mappers Ocgra_util Ocgra_workloads Option Printf Problem Taxonomy

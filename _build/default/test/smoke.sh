@@ -1,0 +1,23 @@
+#!/bin/sh
+# CLI smoke test: list, map, and fault-aware sim with deadline+fallback.
+# Usage: smoke.sh <path-to-ocgra>
+set -eu
+OCGRA="$1"
+
+"$OCGRA" list | grep -q "modulo-greedy"
+
+"$OCGRA" map -k fir4 -m modulo-greedy | grep -q "mapped:"
+
+# the headline robustness path: two injected faults, a wall-clock
+# budget, and a three-tier fallback chain; must end in a verified run
+"$OCGRA" sim -k fir4 -m sat --faults 2 --fault-seed 7 --deadline 5 \
+  --fallback sat,modulo-greedy,constructive \
+  | grep -q "matches the reference interpreter"
+
+# an impossible fault load must fail cleanly (exit 0 + explanation),
+# never crash or report an invalid mapping as success
+"$OCGRA" map -k fir4 --rows 2 --cols 2 --faults 4 --fault-seed 3 --deadline 2 \
+  --fallback modulo-greedy,constructive \
+  | grep -q "mapping failed"
+
+echo "smoke OK"

@@ -49,7 +49,7 @@ let test_mii_heterogeneous () =
 (* ---------- router ---------- *)
 
 let test_router_direct_adjacency () =
-  let occ = Occupancy.create ~npe:16 ~ii:2 in
+  let occ = Occupancy.create ~npe:16 ~ii:2 () in
   let cm = Route.strict cgra44 occ in
   (* produce on pe 5 at t=0 (readable 1), consume on neighbour 6 at 1 *)
   match Route.find ~ii:2 cgra44 cm ~src_pe:5 ~avail:1 ~dst_pe:6 ~consume_at:1 with
@@ -60,7 +60,7 @@ let test_router_direct_adjacency () =
   | None -> Alcotest.fail "expected a route"
 
 let test_router_respects_occupancy () =
-  let occ = Occupancy.create ~npe:4 ~ii:1 in
+  let occ = Occupancy.create ~npe:4 ~ii:1 () in
   let cgra = Cgra.uniform ~rows:2 ~cols:2 () in
   (* block every PE except the endpoints: pes 0 -> 3 need 1 intermediate *)
   Occupancy.claim_fu occ ~pe:1 ~time:0 (Occupancy.U_node 99);
@@ -70,7 +70,7 @@ let test_router_respects_occupancy () =
 
 let test_router_uses_hold () =
   (* waiting 3 cycles on the same PE at II >= 2 should use the RF *)
-  let occ = Occupancy.create ~npe:16 ~ii:4 in
+  let occ = Occupancy.create ~npe:16 ~ii:4 () in
   let cm = Route.strict cgra44 occ in
   match Route.find ~ii:4 cgra44 cm ~src_pe:5 ~avail:1 ~dst_pe:5 ~consume_at:4 with
   | Some (steps, _) ->
@@ -79,7 +79,7 @@ let test_router_uses_hold () =
   | None -> Alcotest.fail "expected a route"
 
 let test_router_no_backward_time () =
-  let occ = Occupancy.create ~npe:16 ~ii:2 in
+  let occ = Occupancy.create ~npe:16 ~ii:2 () in
   let cm = Route.strict cgra44 occ in
   checkb "no time travel" true
     (Route.find ~ii:2 cgra44 cm ~src_pe:5 ~avail:3 ~dst_pe:6 ~consume_at:2 = None)
@@ -101,7 +101,7 @@ let qcheck_router_checker_roundtrip =
       let tv = tu + Rng.int_in rng (-2) 8 in
       if tv < 0 || (pu = pv && tu mod ii = tv mod ii && (tu <> tv || u = v)) then true
       else begin
-        let occ = Occupancy.create ~npe:16 ~ii in
+        let occ = Occupancy.create ~npe:16 ~ii () in
         Occupancy.claim_fu occ ~pe:pu ~time:tu (Occupancy.U_node u);
         if not (Occupancy.fu_free occ ~pe:pv ~time:tv) then true
         else begin
@@ -210,7 +210,7 @@ let test_checker_catches_wrong_ii () =
 (* ---------- occupancy ---------- *)
 
 let test_occupancy_claim_release () =
-  let occ = Occupancy.create ~npe:4 ~ii:2 in
+  let occ = Occupancy.create ~npe:4 ~ii:2 () in
   checkb "free" true (Occupancy.fu_free occ ~pe:1 ~time:5);
   Occupancy.claim_fu occ ~pe:1 ~time:5 (Occupancy.U_node 3);
   checkb "claimed (mod ii)" false (Occupancy.fu_free occ ~pe:1 ~time:7);
@@ -224,7 +224,7 @@ let test_occupancy_claim_release () =
   checki "rf released" 0 (Occupancy.rf_count occ ~pe:2 ~time:1)
 
 let test_occupancy_double_claim_rejected () =
-  let occ = Occupancy.create ~npe:2 ~ii:1 in
+  let occ = Occupancy.create ~npe:2 ~ii:1 () in
   Occupancy.claim_fu occ ~pe:0 ~time:0 (Occupancy.U_node 1);
   Alcotest.check_raises "double claim"
     (Invalid_argument "Occupancy.claim_fu: slot already in use") (fun () ->
@@ -304,7 +304,7 @@ let test_mapper_run_validates () =
      garbage gets reported as a failure with violations in the note *)
   let bogus =
     Mapper.make ~name:"bogus" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
-      ~approach:Taxonomy.Heuristic (fun p _rng ->
+      ~approach:Taxonomy.Heuristic (fun p _rng _dl ->
         let n = Dfg.node_count p.Problem.dfg in
         {
           Mapper.mapping =

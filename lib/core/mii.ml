@@ -10,6 +10,8 @@ open Ocgra_arch
 
 let res_mii (dfg : Dfg.t) (cgra : Cgra.t) =
   let classes = [ Op.F_alu; Op.F_mul; Op.F_mem; Op.F_io ] in
+  (* only healthy cells provide capacity on a degraded array *)
+  let alive = List.filter (Cgra.pe_ok cgra) (List.init (Cgra.pe_count cgra) Fun.id) in
   let bound_for cls =
     let need =
       Dfg.fold_nodes
@@ -18,18 +20,17 @@ let res_mii (dfg : Dfg.t) (cgra : Cgra.t) =
     in
     if need = 0 then 1
     else begin
-      let have =
-        List.length
-          (List.filter
-             (fun pe -> Pe.has_class (Cgra.pe cgra pe) cls)
-             (List.init (Cgra.pe_count cgra) Fun.id))
-      in
+      let have = List.length (List.filter (fun pe -> Pe.has_class (Cgra.pe cgra pe) cls) alive) in
       if have = 0 then max_int (* unmappable on this array *)
       else (need + have - 1) / have
     end
   in
-  (* total-op pressure across all PEs is also a bound *)
-  let total = (Dfg.node_count dfg + Cgra.pe_count cgra - 1) / Cgra.pe_count cgra in
+  (* total-op pressure across all live PEs is also a bound *)
+  let total =
+    match List.length alive with
+    | 0 -> max_int
+    | n -> (Dfg.node_count dfg + n - 1) / n
+  in
   List.fold_left (fun acc cls -> max acc (bound_for cls)) (max 1 total) classes
 
 let rec_mii (dfg : Dfg.t) = Dfg.rec_mii dfg

@@ -6,10 +6,20 @@
     scheduling-only). *)
 val all : Ocgra_core.Mapper.t list
 
-(** Raises [Invalid_argument] on unknown names; see [names]. *)
+(** Mappers findable by name but outside the Table I bench set (the
+    plain constructive fallback tier). *)
+val extras : Ocgra_core.Mapper.t list
+
+(** Raises [Invalid_argument] on unknown names; see [names].  Searches
+    [all] then [extras]. *)
 val find : string -> Ocgra_core.Mapper.t
 
 val names : unit -> string list
+
+(** Parse a comma-separated fallback chain spec
+    (e.g. ["sat,modulo-greedy,constructive"]) into mappers; raises
+    [Invalid_argument] on unknown names. *)
+val chain_of_spec : string -> Ocgra_core.Mapper.t list
 val spatial_mappers : Ocgra_core.Mapper.t list
 val temporal_mappers : Ocgra_core.Mapper.t list
 
