@@ -56,6 +56,23 @@ let fallback_t =
     & info [ "fallback" ]
         ~doc:"Comma-separated fallback chain of mappers (overrides $(b,-m)), tried in order.")
 
+let harden_t =
+  Arg.(
+    value & opt string "none"
+    & info [ "harden" ] ~doc:"Hardening transform applied before mapping: none|dmr|tmr.")
+
+let campaign_t =
+  Arg.(
+    value & opt int 0
+    & info [ "campaign" ]
+        ~doc:"Run a Monte-Carlo reliability campaign of $(docv) fault-injection trials.")
+
+let fault_rate_t =
+  Arg.(
+    value & opt float 0.002
+    & info [ "fault-rate" ]
+        ~doc:"Transient-event probability per PE per cycle during the campaign.")
+
 (* Map through the fallback harness when a chain is given, else through
    the single named mapper; both paths validate the result. *)
 let run_mapper mapper fallback seed deadline p =
@@ -120,19 +137,34 @@ let map_cmd =
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t)
 
 let sim_cmd =
-  let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback =
+  let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
+      campaign fault_rate =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
       Printf.printf "faults: %s\n"
         (Ocgra_arch.Fault.list_to_string (Ocgra_arch.Cgra.faults cgra));
-    let k, p = problem_of kernel false cgra in
+    let k, p_base = problem_of kernel false cgra in
+    let mode = Ocgra_dfg.Harden.mode_of_string harden in
+    (* hardening is a DFG-level rewrite: the mapper sees an ordinary
+       (if larger) problem; init values follow the replicas via the
+       origin map *)
+    let hdfg, origin = Ocgra_dfg.Harden.apply mode k.dfg in
+    let p =
+      if mode = Ocgra_dfg.Harden.No_harden then p_base
+      else Ocgra_core.Problem.temporal ~init:(fun v -> k.init (origin v)) ~dfg:hdfg ~cgra ()
+    in
+    if mode <> Ocgra_dfg.Harden.No_harden then
+      Printf.printf "hardening: %s (%d -> %d ops)\n"
+        (Ocgra_dfg.Harden.mode_to_string mode)
+        (Ocgra_dfg.Dfg.node_count k.dfg)
+        (Ocgra_dfg.Dfg.node_count hdfg);
     let o = run_mapper mapper fallback seed deadline p in
     match o.mapping with
     | None -> Printf.printf "mapping failed (%s)\n" o.note
     | Some mapping -> (
         Printf.printf "mapped in %.2fs (%s)\n" o.elapsed_s o.note;
-        let io = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
-        match Ocgra_sim.Machine.run p mapping io ~iters with
+        let mk_io () = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
+        match Ocgra_sim.Machine.run p mapping (mk_io ()) ~iters with
         | exception Ocgra_sim.Machine.Simulation_error e ->
             Printf.printf "simulation refused: cycle %d, PE %d: %s\n" e.cycle e.pe e.message
         | result ->
@@ -141,19 +173,53 @@ let sim_cmd =
               mapping.Ocgra_core.Mapping.ii iters result.Ocgra_sim.Machine.stats.cycles
               result.Ocgra_sim.Machine.stats.op_instances
               result.Ocgra_sim.Machine.stats.route_instances;
+            let expected =
+              List.map
+                (fun name -> (name, Ocgra_dfg.Eval.output_stream reference name))
+                k.outputs
+            in
             List.iter
-              (fun name ->
+              (fun (name, want) ->
                 let got = Ocgra_sim.Machine.output_stream result name in
-                let want = Ocgra_dfg.Eval.output_stream reference name in
                 Printf.printf "output %-8s %s\n" name
                   (if got = want then "matches the reference interpreter" else "MISMATCH"))
-              k.outputs)
+              expected;
+            if campaign > 0 then begin
+              let rep =
+                Ocgra_sim.Reliability.run_campaign p mapping ~mk_io ~iters ~expected
+                  ~trials:campaign ~rate:fault_rate ~seed:fault_seed
+              in
+              Printf.printf "campaign (%s, rate %g, seed %d): %s\n"
+                (Ocgra_dfg.Harden.mode_to_string mode)
+                fault_rate fault_seed
+                (Ocgra_sim.Reliability.to_string rep);
+              (* hardened runs are judged against the unhardened
+                 mapping of the same kernel under the same fault load *)
+              if mode <> Ocgra_dfg.Harden.No_harden then begin
+                let o0 = run_mapper mapper fallback seed deadline p_base in
+                match o0.mapping with
+                | None -> Printf.printf "baseline mapping failed (%s)\n" o0.note
+                | Some m0 ->
+                    let rep0 =
+                      Ocgra_sim.Reliability.run_campaign p_base m0 ~mk_io ~iters ~expected
+                        ~trials:campaign ~rate:fault_rate ~seed:fault_seed
+                    in
+                    Printf.printf "baseline (none, rate %g, seed %d): %s\n" fault_rate fault_seed
+                      (Ocgra_sim.Reliability.to_string rep0);
+                    let ov =
+                      Ocgra_sim.Reliability.overhead ~baseline:(p_base, m0) ~hardened:(p, mapping)
+                        ~mk_io ~iters
+                    in
+                    Printf.printf "hardening overhead: %s\n"
+                      (Ocgra_sim.Reliability.overhead_to_string ov)
+              end
+            end)
   in
   let iters_t = Arg.(value & opt int 12 & info [ "iters" ] ~doc:"Loop iterations.") in
   Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

@@ -107,6 +107,18 @@ let inject_faults t ~seed ~n =
   done;
   List.rev !picked
 
+(* All directed physical wires, for the transient-event generator. *)
+let raw_links t =
+  List.concat_map
+    (fun i -> List.map (fun j -> (i, j)) (raw_neighbours t i))
+    (List.init (pe_count t) Fun.id)
+
+(* Seeded Monte-Carlo transient bombardment over [horizon] cycles of
+   this array; the arch-level convenience over [Fault.monte_carlo]. *)
+let inject_transients t ~seed ~horizon ~rate =
+  Fault.monte_carlo ~pe_count:(pe_count t) ~links:(raw_links t) ~horizon ~rate
+    ~seed:(0x7A4E lxor seed)
+
 let capable_pes t op =
   List.filter (fun i -> supports t i op) (List.init (pe_count t) Fun.id)
 

@@ -57,6 +57,16 @@ val raw_neighbours : t -> int -> int list
     out of distinct resources); deterministic in [seed]. *)
 val inject_faults : t -> seed:int -> n:int -> Fault.t list
 
+(** All directed physical wires (faults ignored), row-major source
+    order. *)
+val raw_links : t -> (int * int) list
+
+(** Seeded Monte-Carlo transient bombardment of this array over cycles
+    [0, horizon) at per-(PE, cycle) event probability [rate];
+    deterministic in [seed].  See {!Fault.monte_carlo}. *)
+val inject_transients :
+  t -> seed:int -> horizon:int -> rate:float -> Fault.transient list
+
 val neighbours : t -> int -> int list
 
 (** Including staying put. *)

@@ -50,6 +50,8 @@ let opcode_of_op = function
   | Op.Binop b ->
       let rec idx i = if binops.(i) = b then i else idx (i + 1) in
       10 + idx 0
+  | Op.Vote -> 10 + Array.length binops
+  | Op.Cmp -> 11 + Array.length binops
 
 let opcode_name = function
   | 0 -> "nop"
@@ -63,6 +65,8 @@ let opcode_name = function
   | 8 -> "store"
   | 9 -> "route"
   | n when n >= 10 && n < 10 + Array.length binops -> Op.binop_to_string binops.(n - 10)
+  | n when n = 10 + Array.length binops -> "vote"
+  | n when n = 11 + Array.length binops -> "cmp"
   | n -> Printf.sprintf "op%d" n
 
 (* ---------- string interning for stream / array names ---------- *)

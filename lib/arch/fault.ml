@@ -30,3 +30,82 @@ let list_to_string faults =
   match faults with
   | [] -> "none"
   | _ -> String.concat ", " (List.map to_string faults)
+
+(* ---------- transient events ----------
+
+   Where the permanent faults above describe silicon that is *gone*,
+   a transient names one soft-error event that strikes *during* a run:
+   a particle flips a datapath bit, a wire glitches for one cycle, or
+   the configuration memory itself is upset.  Transients are not
+   carried on the [Cgra.t] (the array is physically healthy); they are
+   handed to the simulator's fault-injecting mode, which applies them
+   mid-run.  Both models coexist: a degraded array can additionally be
+   bombarded with transients. *)
+
+type transient =
+  | Bit_flip of { pe : int; cycle : int; bit : int }
+      (** the output register of [pe], written at the end of [cycle],
+          has [bit] inverted — pure data corruption, no control or
+          timing effect, hence silent unless a comparator, a voter or
+          the output check sees the difference *)
+  | Link_drop of { src : int; dst : int; cycle : int }
+      (** the value crossing the directed wire src -> dst during
+          [cycle] is lost; the consumer latches garbage (modelled as 0)
+          in its place *)
+  | Config_upset of { pe : int; cycle : int; bit : int }
+      (** from [cycle] on, [bit] of the configuration word in the slot
+          that fires at [cycle] is inverted.  Config memory holds
+          state, so unlike the other two the upset *persists* for the
+          rest of the run: the slot decodes a wrong operand mux, which
+          the simulator's tag checking then catches (or, for
+          operand-less ops, a wrong immediate, which is silent). *)
+
+let transient_compare = Stdlib.compare
+let transient_equal a b = transient_compare a b = 0
+
+let transient_to_string = function
+  | Bit_flip { pe; cycle; bit } -> Printf.sprintf "bit-flip pe %d cycle %d bit %d" pe cycle bit
+  | Link_drop { src; dst; cycle } -> Printf.sprintf "link-drop %d->%d cycle %d" src dst cycle
+  | Config_upset { pe; cycle; bit } ->
+      Printf.sprintf "config-upset pe %d cycle %d bit %d" pe cycle bit
+
+let transients_to_string = function
+  | [] -> "none"
+  | l -> String.concat ", " (List.map transient_to_string l)
+
+let transient_cycle = function
+  | Bit_flip { cycle; _ } | Link_drop { cycle; _ } | Config_upset { cycle; _ } -> cycle
+
+(* Seeded Monte-Carlo event generator.  Each (pe, cycle) pair is an
+   independent Bernoulli trial at probability [rate] — the classic
+   per-bit-per-cycle SEU model collapsed to one draw per register.  A
+   struck pair then draws the event kind: mostly datapath flips, some
+   wire glitches, occasionally a config upset (the relative weights
+   follow the usual SEU folklore that logic/datapath upsets outnumber
+   config-array hits per bit of exposed state).  [links] is the
+   physical directed adjacency; with no wires, glitches fall back to
+   bit flips.  Deterministic in [seed]: same seed, same bombardment. *)
+let monte_carlo ~pe_count ~links ~horizon ~rate ~seed =
+  if pe_count <= 0 then invalid_arg "Fault.monte_carlo: pe_count";
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Fault.monte_carlo: rate not in [0,1]";
+  let rng = Ocgra_util.Rng.create seed in
+  let links = Array.of_list links in
+  let events = ref [] in
+  for cycle = 0 to horizon - 1 do
+    for pe = 0 to pe_count - 1 do
+      if Ocgra_util.Rng.float rng 1.0 < rate then begin
+        let kind = Ocgra_util.Rng.int rng 100 in
+        let ev =
+          if kind < 55 || (kind < 85 && Array.length links = 0) then
+            Bit_flip { pe; cycle; bit = Ocgra_util.Rng.int rng 24 }
+          else if kind < 85 then begin
+            let src, dst = Ocgra_util.Rng.choose rng links in
+            Link_drop { src; dst; cycle }
+          end
+          else Config_upset { pe; cycle; bit = Ocgra_util.Rng.int rng 24 }
+        in
+        events := ev :: !events
+      end
+    done
+  done;
+  List.rev !events

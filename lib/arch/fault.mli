@@ -21,3 +21,44 @@ val to_string : t -> string
 
 (** Comma-separated rendering; ["none"] for the empty list. *)
 val list_to_string : t list -> string
+
+(** {2 Transient events}
+
+    Soft errors that strike {e during} a run, as opposed to the
+    permanent resource faults above.  They are not carried on the
+    [Cgra.t]; they are handed to the simulator's fault-injecting mode
+    (see [Ocgra_sim.Machine.run_transient]).  Both models coexist. *)
+
+type transient =
+  | Bit_flip of { pe : int; cycle : int; bit : int }
+      (** [bit] of [pe]'s output register written at the end of
+          [cycle] is inverted (silent data corruption) *)
+  | Link_drop of { src : int; dst : int; cycle : int }
+      (** the value crossing src -> dst during [cycle] is lost; the
+          consumer latches 0 *)
+  | Config_upset of { pe : int; cycle : int; bit : int }
+      (** from [cycle] on, the config slot firing at [cycle] decodes
+          wrongly — persistent until the end of the run *)
+
+val transient_compare : transient -> transient -> int
+val transient_equal : transient -> transient -> bool
+val transient_to_string : transient -> string
+
+(** Comma-separated rendering; ["none"] for the empty list. *)
+val transients_to_string : transient list -> string
+
+val transient_cycle : transient -> int
+
+(** [monte_carlo ~pe_count ~links ~horizon ~rate ~seed] draws one
+    Bernoulli trial at probability [rate] per (pe, cycle) pair over
+    cycles [0, horizon); struck pairs become bit flips (mostly), link
+    glitches on a random wire from [links], or config upsets.
+    Deterministic in [seed].  Raises [Invalid_argument] on a negative
+    [pe_count] or a rate outside [0, 1]. *)
+val monte_carlo :
+  pe_count:int ->
+  links:(int * int) list ->
+  horizon:int ->
+  rate:float ->
+  seed:int ->
+  transient list

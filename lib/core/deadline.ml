@@ -1,23 +1,30 @@
-(* Wall-clock budgets for mapping runs.
+(* Monotonic-clock budgets for mapping runs.
 
    A deadline is an absolute expiry instant (or none).  Engines receive
    it as a cheap [should_stop : unit -> bool] polling hook; mappers
-   check it between restarts / II iterations.  Wall clock, not CPU
-   time, so a stuck solver is bounded even when it sleeps or pages. *)
+   check it between restarts / II iterations.  The clock is
+   CLOCK_MONOTONIC (via bechamel's stub), not wall time: an NTP step or
+   a suspend/resume must neither silently expire a budget nor extend
+   it.  Monotonic elapsed time, not CPU time, so a stuck solver is
+   bounded even when it sleeps or pages. *)
 
 type t = No_deadline | Expires_at of float
 
+(* Seconds on the monotonic clock.  The epoch is arbitrary (boot time
+   on Linux); only differences are meaningful, which is all a deadline
+   or an elapsed-time measurement needs. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let none = No_deadline
-let after ~seconds = Expires_at (Unix.gettimeofday () +. seconds)
+let after ~seconds = Expires_at (now () +. seconds)
 let of_seconds = function None -> No_deadline | Some s -> after ~seconds:s
 
 let expired = function
   | No_deadline -> false
-  | Expires_at e -> Unix.gettimeofday () > e
+  | Expires_at e -> now () > e
 
 let remaining_s = function
   | No_deadline -> None
-  | Expires_at e -> Some (max 0.0 (e -. Unix.gettimeofday ()))
+  | Expires_at e -> Some (max 0.0 (e -. now ()))
 
 let should_stop t () = expired t
-let now () = Unix.gettimeofday ()

@@ -1,8 +1,10 @@
-(** Wall-clock budgets for mapping runs.
+(** Monotonic-clock budgets for mapping runs.
 
-    Built on [Unix.gettimeofday] (portable, no signals/threads): the
-    engines poll [should_stop] at checkpoints, so expiry surfaces as a
-    graceful "no mapping / unknown" rather than an interrupt. *)
+    Built on CLOCK_MONOTONIC (no signals/threads; immune to NTP steps
+    and suspend/resume, which on a wall clock silently expire or extend
+    budgets): the engines poll [should_stop] at checkpoints, so expiry
+    surfaces as a graceful "no mapping / unknown" rather than an
+    interrupt. *)
 
 type t
 
@@ -23,5 +25,6 @@ val remaining_s : t -> float option
 (** Polling hook to hand to an engine. *)
 val should_stop : t -> unit -> bool
 
-(** Current wall-clock time, for elapsed measurements. *)
+(** Current monotonic time in seconds (arbitrary epoch — only
+    differences are meaningful), for elapsed measurements. *)
 val now : unit -> float

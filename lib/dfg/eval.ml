@@ -88,6 +88,8 @@ let run ?(init = fun (_ : int) -> 0) t env ~iters =
                   a.((idx mod Array.length a + Array.length a) mod Array.length a) <- x;
                   x)
           | Op.Route, [ x ] -> x
+          | Op.Vote, [ a; b; c ] -> Op.eval_vote a b c
+          | Op.Cmp, [ x; _ ] -> x
           | Op.Nop, [] -> 0
           | op, args ->
               invalid_arg

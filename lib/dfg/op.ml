@@ -33,6 +33,8 @@ type t =
   | Load of string (* array load; input: index *)
   | Store of string (* array store; inputs: index, value *)
   | Route (* explicit routing node inserted by transformations *)
+  | Vote (* majority voter over three redundant copies (TMR hardening) *)
+  | Cmp (* duplicate comparator: passes operand 0, flags a mismatch (DMR) *)
   | Nop
 
 (* Functional classes: the unit of heterogeneity in the architecture
@@ -41,7 +43,7 @@ type func_class = F_alu | F_mul | F_mem | F_io | F_route
 
 let func_class = function
   | Const _ | Binop (Add | Sub | And | Or | Xor | Shl | Shr | Min | Max | Lt | Le | Eq | Ne)
-  | Not | Neg | Select | Nop ->
+  | Not | Neg | Select | Vote | Cmp | Nop ->
       F_alu
   | Binop (Mul | Div | Rem) -> F_mul
   | Load _ | Store _ -> F_mem
@@ -56,26 +58,28 @@ let all_classes = [ F_alu; F_mul; F_mem; F_io; F_route ]
    schedulers nevertheless treat latency symbolically. *)
 let latency = function
   | Const _ | Input _ | Output _ | Route | Nop -> 1
-  | Binop _ | Not | Neg | Select -> 1
+  | Binop _ | Not | Neg | Select | Vote | Cmp -> 1
   | Load _ | Store _ -> 1
 
 let arity = function
   | Const _ | Input _ | Nop -> 0
   | Output _ | Not | Neg | Route -> 1
   | Load _ -> 1
-  | Binop _ -> 2
+  | Binop _ | Cmp -> 2
   | Store _ -> 2
-  | Select -> 3
+  | Select | Vote -> 3
 
 let commutative = function
   | Binop (Add | Mul | And | Or | Xor | Min | Max | Eq | Ne) -> true
   | Binop (Sub | Div | Rem | Shl | Shr | Lt | Le) -> false
-  | Const _ | Input _ | Output _ | Not | Neg | Select | Load _ | Store _ | Route | Nop -> false
+  | Const _ | Input _ | Output _ | Not | Neg | Select | Load _ | Store _ | Route | Vote | Cmp
+  | Nop ->
+      false
 
 (* Nodes whose effect must be preserved by dead-code elimination. *)
 let has_side_effect = function
   | Output _ | Store _ -> true
-  | Const _ | Input _ | Binop _ | Not | Neg | Select | Load _ | Route | Nop -> false
+  | Const _ | Input _ | Binop _ | Not | Neg | Select | Load _ | Route | Vote | Cmp | Nop -> false
 
 let binop_to_string = function
   | Add -> "add"
@@ -106,6 +110,8 @@ let to_string = function
   | Load a -> Printf.sprintf "load %s" a
   | Store a -> Printf.sprintf "store %s" a
   | Route -> "route"
+  | Vote -> "vote"
+  | Cmp -> "cmp"
   | Nop -> "nop"
 
 let func_class_to_string = function
@@ -133,3 +139,8 @@ let eval_binop b x y =
   | Le -> if x <= y then 1 else 0
   | Eq -> if x = y then 1 else 0
   | Ne -> if x <> y then 1 else 0
+
+(* Bitwise majority: each result bit is the majority of the three
+   operand bits, which is exactly the TMR voter circuit — a single
+   flipped bit in any one copy is outvoted per bit. *)
+let eval_vote a b c = (a land b) lor (b land c) lor (a land c)

@@ -30,6 +30,8 @@ type t =
   | Load of string  (** array load; operand: index *)
   | Store of string  (** array store; operands: index, value *)
   | Route  (** explicit routing node inserted by transformations *)
+  | Vote  (** majority voter over three redundant copies (TMR hardening) *)
+  | Cmp  (** duplicate comparator: passes operand 0, flags a mismatch (DMR) *)
   | Nop
 
 (** Functional classes: the unit of heterogeneity in the architecture
@@ -58,3 +60,7 @@ val func_class_to_string : func_class -> string
 (** Integer semantics used by both the interpreter and the simulator
     (division by zero yields 0; shifts mask their amount). *)
 val eval_binop : binop -> int -> int -> int
+
+(** Bitwise majority of three values — the TMR voter circuit.  Any two
+    equal operands win; differing bits are resolved per bit. *)
+val eval_vote : int -> int -> int -> int

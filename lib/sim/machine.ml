@@ -22,6 +22,21 @@ type error = { cycle : int; pe : int; message : string }
 
 exception Simulation_error of error
 
+(* Raised only in the fault-injecting mode: a hardware detection
+   mechanism (a DMR comparator, or the tag check standing in for a
+   control-flow checker) caught corrupted state before it reached an
+   output.  Distinct from [Simulation_error], which in that mode means
+   the machine crashed outright. *)
+exception Fault_detected of error
+
+(* Bookkeeping of one fault-injected run. *)
+type transient_stats = {
+  injected : int; (* events in the campaign's list for this trial *)
+  applied : int; (* events that actually struck live state *)
+  corrections : int; (* voter inputs that disagreed (TMR masking at work) *)
+  detections : int; (* comparator mismatches (counted before the raise) *)
+}
+
 type io = {
   input : string -> int -> int; (* stream name -> iteration -> value *)
   memory : (string, int array) Hashtbl.t;
@@ -99,10 +114,33 @@ let refuse_faults (p : Problem.t) (m : Mapping.t) =
       m.Mapping.routes
   end
 
-let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
+let run_internal (p : Problem.t) (m : Mapping.t) (io : io) ~iters
+    ~(transients : Ocgra_arch.Fault.transient list) =
   refuse_faults p m;
   let dfg = p.dfg in
   let npe = Ocgra_arch.Cgra.pe_count p.cgra in
+  (* transient-event lookup tables; all empty (and free) when the list
+     is, so the clean path pays one boolean test per read/write *)
+  let faulty = transients <> [] in
+  let flips : (int * int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let drops : (int * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* (pe, slot) -> (first upset cycle, flipped bit): config memory
+     holds state, so the earliest hit owns the slot for the rest *)
+  let upsets : (int * int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match (ev : Ocgra_arch.Fault.transient) with
+      | Ocgra_arch.Fault.Bit_flip { pe; cycle; bit } ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt flips (pe, cycle)) in
+          Hashtbl.replace flips (pe, cycle) (bit :: cur)
+      | Ocgra_arch.Fault.Link_drop { src; dst; cycle } -> Hashtbl.replace drops (src, dst, cycle) ()
+      | Ocgra_arch.Fault.Config_upset { pe; cycle; bit } -> (
+          let key = (pe, ((cycle mod m.Mapping.ii) + m.Mapping.ii) mod m.Mapping.ii) in
+          match Hashtbl.find_opt upsets key with
+          | Some (c0, _) when c0 <= cycle -> ()
+          | _ -> Hashtbl.replace upsets key (cycle, bit)))
+    transients;
+  let applied = ref 0 and corrections = ref 0 and detections = ref 0 in
   let edges = Array.of_list (Dfg.edges dfg) in
   (* location of edge e's value just before base cycle [upto_time] *)
   let route_state e upto_time =
@@ -170,6 +208,20 @@ let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
   let fail cycle pe fmt =
     Printf.ksprintf (fun message -> raise (Simulation_error { cycle; pe; message })) fmt
   in
+  (* In the fault-injecting mode the tag check plays the role of the
+     hardware's control/dataflow checker: a corrupted configuration
+     that reads the wrong register is a *detected* fault, not a
+     simulator bug.  Clean runs keep the hard [Simulation_error]. *)
+  let detect cycle pe fmt =
+    Printf.ksprintf
+      (fun message ->
+        if faulty then begin
+          incr detections;
+          raise (Fault_detected { cycle; pe; message })
+        end
+        else raise (Simulation_error { cycle; pe; message }))
+      fmt
+  in
   let t_end =
     Hashtbl.fold (fun (_, base) _ acc -> max acc (base + ((iters - 1) * m.ii))) instrs 0
   in
@@ -193,20 +245,48 @@ let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
       | None -> ()
       | Some (base, instr) ->
           let iter = (t - base) / m.ii in
+          (* a config upset owns this (pe, slot) from its first hit on *)
+          let upset =
+            if faulty then
+              match Hashtbl.find_opt upsets (pe, slot) with
+              | Some (c0, bit) when t >= c0 -> Some bit
+              | _ -> None
+            else None
+          in
+          let reads = ref 0 in
           let read_from ~origin ~src_iter src =
+            incr reads;
+            let src =
+              (* the upset slot decodes a wrong operand mux: the read
+                 lands on an arbitrary register, and the tag check
+                 (below) catches the impostor value *)
+              match upset with
+              | Some bit ->
+                  incr applied;
+                  From_out ((pe + 1 + (bit mod max 1 (npe - 1))) mod npe)
+              | None -> src
+            in
             match src with
             | From_rf (e, hold_from) -> (
                 incr rf_reads;
                 match Hashtbl.find_opt rf (pe, e, hold_from, src_iter) with
                 | Some v -> v
                 | None -> fail t pe "RF miss: edge %d hold@%d iteration %d" e hold_from src_iter)
-            | From_out q -> (
-                match out_tag.(q) with
-                | Some (u, i) when u = origin && i = src_iter -> out_value.(q)
-                | Some (u, i) ->
-                    fail t pe "tag mismatch on PE %d: expected node %d iter %d, found node %d iter %d"
-                      q origin src_iter u i
-                | None -> fail t pe "read of empty output register on PE %d" q)
+            | From_out q ->
+                if faulty && q <> pe && Hashtbl.mem drops (q, pe, t) then begin
+                  (* the wire glitched: garbage is latched in place of
+                     the value; no tag check — hardware sees no tags *)
+                  incr applied;
+                  0
+                end
+                else (
+                  match out_tag.(q) with
+                  | Some (u, i) when u = origin && i = src_iter -> out_value.(q)
+                  | Some (u, i) ->
+                      detect t pe
+                        "tag mismatch on PE %d: expected node %d iter %d, found node %d iter %d" q
+                        origin src_iter u i
+                  | None -> detect t pe "read of empty output register on PE %d" q)
           in
           let execute () =
             match instr with
@@ -252,12 +332,43 @@ let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
                           a.(((idx mod Array.length a) + Array.length a) mod Array.length a) <- x;
                           x)
                   | Op.Route, [ x ] -> x
+                  | Op.Vote, [ a; b; c ] ->
+                      if faulty && not (a = b && b = c) then incr corrections;
+                      Op.eval_vote a b c
+                  | Op.Cmp, [ x; y ] ->
+                      if faulty && x <> y then
+                        detect t pe "DMR comparator mismatch on node %d (%d <> %d)" v x y
+                      else x
                   | Op.Nop, [] -> 0
                   | op, _ -> fail t pe "bad arity executing %s" (Op.to_string op)
                 in
                 (value, (v, iter))
           in
           let value, tag = execute () in
+          (* datapath upsets strike the produced value itself: bit
+             flips on the output register written this cycle, and
+             config upsets of operand-less slots (a corrupted
+             immediate/opcode has no read for the tag check to catch) *)
+          let value =
+            if faulty then begin
+              let value =
+                match Hashtbl.find_opt flips (pe, t) with
+                | Some bits ->
+                    List.fold_left
+                      (fun v bit ->
+                        incr applied;
+                        v lxor (1 lsl bit))
+                      value bits
+                | None -> value
+              in
+              match upset with
+              | Some bit when !reads = 0 ->
+                  incr applied;
+                  value lxor (1 lsl (bit mod 24))
+              | _ -> value
+            end
+            else value
+          in
           incr active;
           out_writes := (pe, value, tag) :: !out_writes;
           (* start any holds whose write cycle is this instruction's
@@ -276,18 +387,27 @@ let run (p : Problem.t) (m : Mapping.t) (io : io) ~iters =
       !out_writes;
     List.iter (fun (key, value) -> Hashtbl.replace rf key value) !rf_inserts
   done;
-  {
-    outputs;
-    stats =
-      {
-        cycles = t_end + 1;
-        op_instances = !op_instances;
-        route_instances = !route_instances;
-        rf_reads = !rf_reads;
-        rf_writes = !rf_writes;
-        pe_active_cycles = !active;
-      };
-  }
+  ( {
+      outputs;
+      stats =
+        {
+          cycles = t_end + 1;
+          op_instances = !op_instances;
+          route_instances = !route_instances;
+          rf_reads = !rf_reads;
+          rf_writes = !rf_writes;
+          pe_active_cycles = !active;
+        };
+    },
+    {
+      injected = List.length transients;
+      applied = !applied;
+      corrections = !corrections;
+      detections = !detections;
+    } )
+
+let run p m io ~iters = fst (run_internal p m io ~iters ~transients:[])
+let run_transient p m io ~iters ~transients = run_internal p m io ~iters ~transients
 
 (* End-to-end verification: run the mapping and compare every output
    stream with the reference interpreter. *)

@@ -11,6 +11,22 @@ type error = { cycle : int; pe : int; message : string }
 
 exception Simulation_error of error
 
+(** Raised only by {!run_transient}: a hardware detection mechanism (a
+    DMR {!Ocgra_dfg.Op.t.Cmp} comparator, or the tag check standing in
+    for a control-flow checker) caught corrupted state.  Distinct from
+    {!Simulation_error}, which in that mode means an outright crash. *)
+exception Fault_detected of error
+
+(** Bookkeeping of one fault-injected run: events handed in, events
+    that struck live state, voter-input disagreements (TMR masking at
+    work) and comparator/tag detections. *)
+type transient_stats = {
+  injected : int;
+  applied : int;
+  corrections : int;
+  detections : int;
+}
+
 type io = {
   input : string -> int -> int;  (** stream name -> iteration -> value *)
   memory : (string, int array) Hashtbl.t;
@@ -43,6 +59,22 @@ val refuse_faults : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> unit
 (** Execute [iters] iterations of the mapped kernel.  Refuses (with
     {!Simulation_error}) mappings that use faulted resources. *)
 val run : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> io -> iters:int -> result
+
+(** Like {!run}, but applies the given transient events mid-run: bit
+    flips corrupt the struck output register, link drops replace the
+    crossing value with garbage, config upsets persistently rewire the
+    struck slot's operand mux (caught by the tag check) or corrupt its
+    immediate.  May raise {!Fault_detected} (corruption caught by a
+    comparator or the tag check) or {!Simulation_error} (crash);
+    otherwise the run completes — possibly with silently corrupted
+    outputs, which is exactly what a reliability campaign measures. *)
+val run_transient :
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  io ->
+  iters:int ->
+  transients:Ocgra_arch.Fault.transient list ->
+  result * transient_stats
 
 (** Convenience: run and compare each named output stream. *)
 val verify :

@@ -1,0 +1,154 @@
+(* Monte-Carlo reliability campaign.
+
+   One campaign = N independent seeded trials of the same mapping under
+   the same transient-event rate.  Every trial draws its own
+   bombardment (deterministically from the campaign seed), executes the
+   mapping in the simulator's fault-injecting mode and is classified
+   against the reference output streams:
+
+   - [Correct]   the run completed and every output matched, with no
+                 voter ever seeing a disagreement — the faults missed;
+   - [Masked]    outputs matched but at least one TMR voter outvoted a
+                 corrupted replica — the hardening earned its keep;
+   - [Detected]  a DMR comparator (or the tag check, standing in for
+                 the hardware's control checker) caught the corruption
+                 before an output was produced;
+   - [Sdc]       the run completed with a wrong output — silent data
+                 corruption, the failure mode hardening exists to kill;
+   - [Crash]     the machine stopped (RF miss, bad state, ...).
+
+   The campaign is the reliability axis of the repo's mapper
+   comparisons: hardened and unhardened mappings of any technique are
+   judged under the same injected fault load, alongside the II and
+   energy overhead the hardening costs. *)
+
+open Ocgra_core
+
+type trial_class = Correct | Masked | Detected | Sdc | Crash
+
+let trial_class_to_string = function
+  | Correct -> "correct"
+  | Masked -> "masked"
+  | Detected -> "detected"
+  | Sdc -> "sdc"
+  | Crash -> "crash"
+
+type report = {
+  trials : int;
+  correct : int;
+  masked : int;
+  detected : int;
+  sdc : int;
+  crash : int;
+  injected : int; (* events drawn across all trials *)
+  applied : int; (* events that struck live state (completed trials) *)
+}
+
+let rate_of count r = if r.trials = 0 then 0.0 else float_of_int count /. float_of_int r.trials
+let sdc_rate r = rate_of r.sdc r
+let masked_rate r = rate_of r.masked r
+let detected_rate r = rate_of r.detected r
+let crash_rate r = rate_of r.crash r
+
+let to_string r =
+  Printf.sprintf
+    "%d trials: %d correct, %d masked, %d detected, %d SDC (%.1f%%), %d crash; %d events injected, %d applied"
+    r.trials r.correct r.masked r.detected r.sdc
+    (100.0 *. sdc_rate r)
+    r.crash r.injected r.applied
+
+(* Last cycle any instruction of the run can fire, so every drawn event
+   lands inside the run's lifetime. *)
+let horizon (m : Mapping.t) ~iters = Mapping.schedule_length m + ((iters - 1) * m.Mapping.ii) + 1
+
+let classify (p : Problem.t) (m : Mapping.t) ~io ~iters ~expected ~transients =
+  match Machine.run_transient p m io ~iters ~transients with
+  | exception Machine.Fault_detected _ -> (Detected, None)
+  | exception Machine.Simulation_error _ -> (Crash, None)
+  | result, ts ->
+      let ok =
+        List.for_all
+          (fun (name, want) -> Machine.output_stream result name = want)
+          expected
+      in
+      if not ok then (Sdc, Some ts)
+      else if ts.Machine.corrections > 0 then (Masked, Some ts)
+      else (Correct, Some ts)
+
+(* [mk_io] must build a *fresh* io per trial: Store ops mutate the
+   memory arrays, and a corrupted trial must not leak state into the
+   next one. *)
+let run_campaign (p : Problem.t) (m : Mapping.t) ~mk_io ~iters ~expected ~trials ~rate ~seed =
+  if trials < 0 then invalid_arg "Reliability.run_campaign: negative trial count";
+  let rng = Ocgra_util.Rng.create (0xCA4A1 lxor seed) in
+  let hz = horizon m ~iters in
+  let correct = ref 0 and masked = ref 0 and detected = ref 0 in
+  let sdc = ref 0 and crash = ref 0 in
+  let injected = ref 0 and applied = ref 0 in
+  for _trial = 1 to trials do
+    let tseed = Ocgra_util.Rng.bits rng in
+    let transients = Ocgra_arch.Cgra.inject_transients p.cgra ~seed:tseed ~horizon:hz ~rate in
+    injected := !injected + List.length transients;
+    let cls, ts = classify p m ~io:(mk_io ()) ~iters ~expected ~transients in
+    (match ts with Some ts -> applied := !applied + ts.Machine.applied | None -> ());
+    match cls with
+    | Correct -> incr correct
+    | Masked -> incr masked
+    | Detected -> incr detected
+    | Sdc -> incr sdc
+    | Crash -> incr crash
+  done;
+  {
+    trials;
+    correct = !correct;
+    masked = !masked;
+    detected = !detected;
+    sdc = !sdc;
+    crash = !crash;
+    injected = !injected;
+    applied = !applied;
+  }
+
+(* ---------- hardening overhead ---------- *)
+
+(* What the redundancy costs, measured on clean (fault-free) runs of
+   the two mappings: the hardened kernel carries more ops, usually a
+   higher II (the replicas compete for FU slots) and strictly more
+   energy. *)
+type overhead = {
+  ii_base : int;
+  ii_hard : int;
+  ops_base : int;
+  ops_hard : int;
+  energy_base : float;
+  energy_hard : float;
+}
+
+let ii_overhead o = (float_of_int o.ii_hard /. float_of_int o.ii_base) -. 1.0
+let ops_overhead o = (float_of_int o.ops_hard /. float_of_int o.ops_base) -. 1.0
+let energy_overhead o = (o.energy_hard /. o.energy_base) -. 1.0
+
+let overhead_to_string o =
+  Printf.sprintf "II %d -> %d (+%.0f%%), ops %d -> %d (+%.0f%%), energy %.1f -> %.1f (+%.0f%%)"
+    o.ii_base o.ii_hard
+    (100.0 *. ii_overhead o)
+    o.ops_base o.ops_hard
+    (100.0 *. ops_overhead o)
+    o.energy_base o.energy_hard
+    (100.0 *. energy_overhead o)
+
+let measure_energy (p : Problem.t) (m : Mapping.t) ~mk_io ~iters =
+  let result = Machine.run p m (mk_io ()) ~iters in
+  Energy.of_mapping_run p.Problem.dfg
+    ~npe:(Ocgra_arch.Cgra.pe_count p.Problem.cgra)
+    ~iters result.Machine.stats
+
+let overhead ~baseline:(p0, m0) ~hardened:(p1, m1) ~mk_io ~iters =
+  {
+    ii_base = m0.Mapping.ii;
+    ii_hard = m1.Mapping.ii;
+    ops_base = Ocgra_dfg.Dfg.node_count p0.Problem.dfg;
+    ops_hard = Ocgra_dfg.Dfg.node_count p1.Problem.dfg;
+    energy_base = measure_energy p0 m0 ~mk_io ~iters;
+    energy_hard = measure_energy p1 m1 ~mk_io ~iters;
+  }

@@ -1,0 +1,92 @@
+(** Monte-Carlo reliability campaign: N seeded fault-injection trials
+    of one mapping, each classified against the reference outputs.
+    The reliability axis of the repo's mapper comparisons — hardened
+    and unhardened mappings of any technique are judged under the same
+    injected fault load, next to the II/energy overhead hardening
+    costs. *)
+
+type trial_class =
+  | Correct  (** outputs matched; no voter saw a disagreement *)
+  | Masked  (** outputs matched because a TMR voter outvoted a replica *)
+  | Detected  (** a comparator or the tag check caught the corruption *)
+  | Sdc  (** completed with a wrong output: silent data corruption *)
+  | Crash  (** the machine stopped (RF miss, bad state, ...) *)
+
+val trial_class_to_string : trial_class -> string
+
+type report = {
+  trials : int;
+  correct : int;
+  masked : int;
+  detected : int;
+  sdc : int;
+  crash : int;
+  injected : int;  (** events drawn across all trials *)
+  applied : int;  (** events that struck live state (completed trials) *)
+}
+
+val sdc_rate : report -> float
+val masked_rate : report -> float
+val detected_rate : report -> float
+val crash_rate : report -> float
+val to_string : report -> string
+
+(** First cycle strictly after the last instruction of the run; the
+    window transient events are drawn over. *)
+val horizon : Ocgra_core.Mapping.t -> iters:int -> int
+
+(** Classify a single trial under the given bombardment.  The stats
+    are available only for completed (non-raising) runs. *)
+val classify :
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  io:Machine.io ->
+  iters:int ->
+  expected:(string * int list) list ->
+  transients:Ocgra_arch.Fault.transient list ->
+  trial_class * Machine.transient_stats option
+
+(** [run_campaign p m ~mk_io ~iters ~expected ~trials ~rate ~seed]
+    executes [trials] independent seeded trials at per-(PE, cycle)
+    event probability [rate].  [mk_io] must build a fresh io per trial
+    (Store ops mutate memory).  Deterministic in [seed].  Raises
+    [Invalid_argument] on a negative trial count. *)
+val run_campaign :
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  mk_io:(unit -> Machine.io) ->
+  iters:int ->
+  expected:(string * int list) list ->
+  trials:int ->
+  rate:float ->
+  seed:int ->
+  report
+
+(** {2 Hardening overhead} — measured on clean runs of both mappings. *)
+
+type overhead = {
+  ii_base : int;
+  ii_hard : int;
+  ops_base : int;
+  ops_hard : int;
+  energy_base : float;
+  energy_hard : float;
+}
+
+(** Relative overheads: hardened / baseline - 1. *)
+val ii_overhead : overhead -> float
+
+val ops_overhead : overhead -> float
+val energy_overhead : overhead -> float
+val overhead_to_string : overhead -> string
+
+(** Energy of one clean run via {!Energy.of_mapping_run}. *)
+val measure_energy :
+  Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> mk_io:(unit -> Machine.io) -> iters:int -> float
+
+val overhead :
+  baseline:Ocgra_core.Problem.t * Ocgra_core.Mapping.t ->
+  hardened:Ocgra_core.Problem.t * Ocgra_core.Mapping.t ->
+  mk_io:(unit -> Machine.io) ->
+  iters:int ->
+  overhead

@@ -14,6 +14,17 @@ OCGRA="$1"
   --fallback sat,modulo-greedy,constructive \
   | grep -q "matches the reference interpreter"
 
+# TMR hardening + a small reliability campaign: the hardened mapping
+# must still verify against the unhardened reference, and the report
+# must include the campaign, the unhardened baseline and the overhead
+OUT=$("$OCGRA" sim -k saxpy -m modulo-greedy --harden tmr --campaign 20 \
+  --fault-rate 0.002 --fault-seed 11)
+echo "$OUT" | grep -q "hardening: tmr"
+echo "$OUT" | grep -q "matches the reference interpreter"
+echo "$OUT" | grep -q "campaign (tmr"
+echo "$OUT" | grep -q "baseline (none"
+echo "$OUT" | grep -q "hardening overhead:"
+
 # an impossible fault load must fail cleanly (exit 0 + explanation),
 # never crash or report an invalid mapping as success
 "$OCGRA" map -k fir4 --rows 2 --cols 2 --faults 4 --fault-seed 3 --deadline 2 \

@@ -165,6 +165,56 @@ let test_harness_empty_chain () =
     (Invalid_argument "Mapper.Harness.run: empty fallback chain") (fun () ->
       ignore (Mapper.Harness.run [] p))
 
+(* An already-expired budget still grants each tier its first try (with
+   the 0.05s floor) but suppresses retries — the harness must answer,
+   not spin. *)
+let test_harness_expired_budget () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let chain = [ failing_tier; Ocgra_mappers.Registry.find "modulo-greedy" ] in
+  let o = Mapper.Harness.run ~seed:7 ~deadline_s:0.0 chain p in
+  checkb "still answers on an expired budget" true (o.Mapper.mapping <> None);
+  checkb "answering tier named" true (contains o.Mapper.note "tier 2/2");
+  checkb "tier 1 got its first try" true (contains o.Mapper.note "never[try 1]");
+  checkb "but no retries" false (contains o.Mapper.note "never[try 2]")
+
+(* Total failure must leave a complete trail: every tier, every try,
+   each failure's own note, and the attempt count summed across all. *)
+let test_harness_failure_trail () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let o = Mapper.Harness.run ~seed:7 [ failing_tier; failing_tier ] p in
+  checkb "no mapping" true (o.Mapper.mapping = None);
+  checkb "headline" true (contains o.Mapper.note "no tier answered");
+  checkb "try 1 recorded with its note" true (contains o.Mapper.note "never[try 1]: nope");
+  checkb "try 2 recorded with its note" true (contains o.Mapper.note "never[try 2]: nope");
+  checki "attempts summed over tiers and tries" 4 o.Mapper.attempts
+
+(* Retries must not replay the same search: each try re-seeds the
+   technique differently, yet the whole sequence is a deterministic
+   function of the harness seed. *)
+let test_harness_retry_seeds () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let record () =
+    let draws = ref [] in
+    let spy =
+      Mapper.make ~name:"spy" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
+        ~approach:Taxonomy.Heuristic (fun _p rng _dl ->
+          draws := Rng.bits rng :: !draws;
+          { Mapper.mapping = None; proven_optimal = false; attempts = 1; elapsed_s = 0.0; note = "" })
+    in
+    let o = Mapper.Harness.run ~seed:5 ~retries:3 [ spy ] p in
+    checkb "no mapping" true (o.Mapper.mapping = None);
+    List.rev !draws
+  in
+  let a = record () in
+  let b = record () in
+  checki "three tries, three rng states" 3 (List.length a);
+  checkb "every retry drew from a fresh seed" true
+    (List.sort_uniq compare a = List.sort compare a);
+  checkb "identical across same-seed runs" true (a = b)
+
 let test_chain_of_spec () =
   let chain = Ocgra_mappers.Registry.chain_of_spec "sat, modulo-greedy,constructive" in
   Alcotest.(check (list string))
@@ -225,6 +275,9 @@ let () =
           Alcotest.test_case "falls back" `Quick test_harness_falls_back;
           Alcotest.test_case "total failure" `Quick test_harness_total_failure;
           Alcotest.test_case "empty chain" `Quick test_harness_empty_chain;
+          Alcotest.test_case "expired budget" `Quick test_harness_expired_budget;
+          Alcotest.test_case "failure trail" `Quick test_harness_failure_trail;
+          Alcotest.test_case "retry seeds" `Quick test_harness_retry_seeds;
           Alcotest.test_case "chain parsing" `Quick test_chain_of_spec;
         ] );
       ( "sweep",
