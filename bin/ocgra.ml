@@ -56,6 +56,17 @@ let fallback_t =
     & info [ "fallback" ]
         ~doc:"Comma-separated fallback chain of mappers (overrides $(b,-m)), tried in order.")
 
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains: with $(b,--fallback), race the tiers concurrently (first validated \
+           success wins and cancels the rest); with $(b,--campaign), shard the trials.  0 = all \
+           cores (or \\$OCGRA_JOBS).")
+
+let resolve_jobs j = if j <= 0 then Ocgra_par.Pool.default_workers () else j
+
 let harden_t =
   Arg.(
     value & opt string "none"
@@ -74,13 +85,17 @@ let fault_rate_t =
         ~doc:"Transient-event probability per PE per cycle during the campaign.")
 
 (* Map through the fallback harness when a chain is given, else through
-   the single named mapper; both paths validate the result. *)
-let run_mapper mapper fallback seed deadline p =
+   the single named mapper; both paths validate the result.  With
+   [jobs] > 1 the chain is raced across domains instead of walked in
+   order — same validated answer contract, min-over-tiers latency. *)
+let run_mapper mapper fallback seed deadline jobs p =
   match fallback with
   | Some spec ->
-      Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline
-        (Ocgra_mappers.Registry.chain_of_spec spec)
-        p
+      let chain = Ocgra_mappers.Registry.chain_of_spec spec in
+      let workers = resolve_jobs jobs in
+      if workers > 1 then
+        Ocgra_core.Mapper.Harness.race ~seed ?deadline_s:deadline ~workers chain p
+      else Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline chain p
   | None -> Ocgra_core.Mapper.run (Ocgra_mappers.Registry.find mapper) ~seed ?deadline_s:deadline p
 
 let list_cmd =
@@ -116,11 +131,12 @@ let problem_of kernel spatial cgra =
   (k, p)
 
 let map_cmd =
-  let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback =
+  let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback jobs
+      =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
-    let o = run_mapper mapper fallback seed deadline p in
+    let o = run_mapper mapper fallback seed deadline jobs p in
     match o.mapping with
     | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
     | Some mapping ->
@@ -134,11 +150,11 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ jobs_t)
 
 let sim_cmd =
   let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
-      campaign fault_rate =
+      campaign fault_rate jobs =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
       Printf.printf "faults: %s\n"
@@ -158,7 +174,7 @@ let sim_cmd =
         (Ocgra_dfg.Harden.mode_to_string mode)
         (Ocgra_dfg.Dfg.node_count k.dfg)
         (Ocgra_dfg.Dfg.node_count hdfg);
-    let o = run_mapper mapper fallback seed deadline p in
+    let o = run_mapper mapper fallback seed deadline jobs p in
     match o.mapping with
     | None -> Printf.printf "mapping failed (%s)\n" o.note
     | Some mapping -> (
@@ -185,8 +201,11 @@ let sim_cmd =
                   (if got = want then "matches the reference interpreter" else "MISMATCH"))
               expected;
             if campaign > 0 then begin
+              (* trials shard across domains; the report is
+                 bit-identical for any worker count *)
+              let workers = resolve_jobs jobs in
               let rep =
-                Ocgra_sim.Reliability.run_campaign p mapping ~mk_io ~iters ~expected
+                Ocgra_sim.Reliability.run_campaign ~workers p mapping ~mk_io ~iters ~expected
                   ~trials:campaign ~rate:fault_rate ~seed:fault_seed
               in
               Printf.printf "campaign (%s, rate %g, seed %d): %s\n"
@@ -196,12 +215,12 @@ let sim_cmd =
               (* hardened runs are judged against the unhardened
                  mapping of the same kernel under the same fault load *)
               if mode <> Ocgra_dfg.Harden.No_harden then begin
-                let o0 = run_mapper mapper fallback seed deadline p_base in
+                let o0 = run_mapper mapper fallback seed deadline jobs p_base in
                 match o0.mapping with
                 | None -> Printf.printf "baseline mapping failed (%s)\n" o0.note
                 | Some m0 ->
                     let rep0 =
-                      Ocgra_sim.Reliability.run_campaign p_base m0 ~mk_io ~iters ~expected
+                      Ocgra_sim.Reliability.run_campaign ~workers p_base m0 ~mk_io ~iters ~expected
                         ~trials:campaign ~rate:fault_rate ~seed:fault_seed
                     in
                     Printf.printf "baseline (none, rate %g, seed %d): %s\n" fault_rate fault_seed
@@ -219,7 +238,8 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t
+      $ jobs_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

@@ -1,10 +1,14 @@
-(** Monotonic-clock budgets for mapping runs.
+(** Monotonic-clock budgets and composable stop signals for mapping
+    runs.
 
     Built on CLOCK_MONOTONIC (no signals/threads; immune to NTP steps
     and suspend/resume, which on a wall clock silently expire or extend
     budgets): the engines poll [should_stop] at checkpoints, so expiry
     surfaces as a graceful "no mapping / unknown" rather than an
-    interrupt. *)
+    interrupt.  A deadline can also carry an external cancellation hook
+    ({!with_cancel}) — e.g. the winner of a {!Mapper.Harness.race}
+    cancelling the losing tiers — which the same [should_stop] polling
+    observes, so engines need no extra plumbing to become cancellable. *)
 
 type t
 
@@ -17,9 +21,26 @@ val after : seconds:float -> t
 (** [None] -> {!none}, [Some s] -> {!after} [s]. *)
 val of_seconds : float option -> t
 
+(** [with_cancel t hook] also stops when [hook ()] is true (ORed with
+    the expiry and any previously attached hook).  [hook] is polled
+    from whatever domain runs the engine, so it must be domain-safe —
+    an [Atomic.t]-backed flag such as [Ocgra_par.Cancel.hook], not a
+    closure over unsynchronised mutable state. *)
+val with_cancel : t -> (unit -> bool) -> t
+
+(** [sooner a b] expires when the earlier of the two does, and is
+    cancelled when either is. *)
+val sooner : t -> t -> t
+
+(** True when the attached cancellation hook (if any) has fired,
+    regardless of the clock. *)
+val cancelled : t -> bool
+
+(** Expiry or cancellation. *)
 val expired : t -> bool
 
-(** Seconds left (clamped at 0), or [None] for {!none}. *)
+(** Seconds left on the clock (clamped at 0), or [None] for {!none};
+    ignores cancellation hooks. *)
 val remaining_s : t -> float option
 
 (** Polling hook to hand to an engine. *)

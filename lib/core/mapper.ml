@@ -37,9 +37,8 @@ let no_mapping ?(note = "") ~attempts ~elapsed_s () =
    never trusted.  An unmappable problem (some op with no capable,
    non-faulted PE) fails fast without entering the technique, since
    several meta-heuristics assume non-empty candidate sets. *)
-let run (mapper : t) ?(seed = 42) ?deadline_s (p : Problem.t) =
+let run_d (mapper : t) ?(seed = 42) ~deadline:dl (p : Problem.t) =
   let rng = Rng.create seed in
-  let dl = Deadline.of_seconds deadline_s in
   let t0 = Deadline.now () in
   let finish outcome = { outcome with elapsed_s = Deadline.now () -. t0 } in
   if not (Problem.mappable p) then
@@ -65,6 +64,9 @@ let run (mapper : t) ?(seed = 42) ?deadline_s (p : Problem.t) =
                     (String.concat " | " violations);
               })
   end
+
+let run (mapper : t) ?seed ?deadline_s (p : Problem.t) =
+  run_d mapper ?seed ~deadline:(Deadline.of_seconds deadline_s) p
 
 (* Deadline-bounded, retrying, fallback-chained mapping: the harness a
    mapping service runs instead of a bare [run].  Tier i of an n-tier
@@ -100,13 +102,20 @@ module Harness = struct
             if try_no >= max 1 retries then None
             else if Deadline.expired dl && try_no > 0 then None
             else begin
-              (* equal share of what is left, re-measured per try *)
-              let budget =
-                Option.map
-                  (fun r -> max 0.05 (r /. float_of_int tiers_left))
-                  (Deadline.remaining_s dl)
+              (* equal share of what is left, re-measured per try.  The
+                 0.05 s floor deliberately outlives an already-expired
+                 parent clock (each tier gets one graced first try), so
+                 only the parent's *cancellation hook* is carried over,
+                 not its expiry. *)
+              let sub =
+                match Deadline.remaining_s dl with
+                | None -> dl
+                | Some r ->
+                    Deadline.with_cancel
+                      (Deadline.after ~seconds:(max 0.05 (r /. float_of_int tiers_left)))
+                      (fun () -> Deadline.cancelled dl)
               in
-              let o = run m ~seed:(seed + (try_no * 7919)) ?deadline_s:budget p in
+              let o = run_d m ~seed:(seed + (try_no * 7919)) ~deadline:sub p in
               total_attempts := !total_attempts + max 1 o.attempts;
               match o.mapping with
               | Some _ -> Some o
@@ -130,4 +139,68 @@ module Harness = struct
           | None -> tiers (idx + 1) rest)
     in
     tiers 0 chain
+
+  (* Portfolio racing: every tier starts at once with the *whole*
+     budget instead of a 1/tiers-left share, and the first validated
+     success cancels the rest.  The cancellation flag is composed into
+     the shared deadline with [Deadline.with_cancel], so it reaches
+     every engine through the [should_stop] checkpoints they already
+     poll — losers return their best partial answer rather than being
+     killed, which is what lets the outcome note carry the loser
+     trail.  Exact and heuristic mappers have wildly different latency
+     profiles per kernel (Walter et al.), so the race's answer time is
+     min over tiers, never worse than the sequential chain up to one
+     poll interval.  On one worker (or a single tier) this degrades to
+     the sequential chain with one try per tier. *)
+  let race ?(seed = 42) ?deadline_s ?workers (chain : t list) (p : Problem.t) =
+    if chain = [] then invalid_arg "Mapper.Harness.race: empty fallback chain";
+    let n = List.length chain in
+    let w = Ocgra_par.Pool.resolve workers n in
+    if w <= 1 || n = 1 then run ~seed ?deadline_s ~retries:1 chain p
+    else begin
+      let t0 = Deadline.now () in
+      let cancel = Ocgra_par.Cancel.create () in
+      let dl =
+        Deadline.with_cancel (Deadline.of_seconds deadline_s) (Ocgra_par.Cancel.hook cancel)
+      in
+      let tiers = Array.of_list chain in
+      let thunks = Array.map (fun m () -> run_d m ~seed ~deadline:dl p) tiers in
+      let outcomes, winner =
+        Ocgra_par.Race.run ~workers:w ~cancel
+          ~accept:(fun o -> o.mapping <> None)
+          thunks
+      in
+      let attempts = Array.fold_left (fun acc o -> acc + max 1 o.attempts) 0 outcomes in
+      let elapsed_s = Deadline.now () -. t0 in
+      let trail_of i =
+        let o = outcomes.(i) in
+        Printf.sprintf "%s: %s" tiers.(i).name
+          (match o.mapping with
+          | Some _ -> "also mapped (lost the race)"
+          | None -> if o.note = "" then "no mapping" else o.note)
+      in
+      let others i = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+      match winner with
+      | Some i ->
+          let o = outcomes.(i) in
+          {
+            o with
+            attempts;
+            elapsed_s;
+            note =
+              Printf.sprintf "race won by tier %d/%d (%s)%s | %s" (i + 1) n tiers.(i).name
+                (if o.note = "" then "" else ": " ^ o.note)
+                (String.concat "; " (List.map trail_of (others i)));
+          }
+      | None ->
+          {
+            mapping = None;
+            proven_optimal = false;
+            attempts;
+            elapsed_s;
+            note =
+              Printf.sprintf "no tier won the race: %s"
+                (String.concat "; " (List.map trail_of (List.init n Fun.id)));
+          }
+    end
 end

@@ -38,6 +38,11 @@ val no_mapping : ?note:string -> attempts:int -> elapsed_s:float -> unit -> outc
     [?deadline_s] bounds the run in wall-clock seconds. *)
 val run : t -> ?seed:int -> ?deadline_s:float -> Problem.t -> outcome
 
+(** Like {!run}, but with a caller-built {!Deadline.t} — the hook for
+    composed stop signals (a shared budget plus a race-cancellation
+    flag attached with {!Deadline.with_cancel}). *)
+val run_d : t -> ?seed:int -> deadline:Deadline.t -> Problem.t -> outcome
+
 (** Deadline-bounded, retrying, fallback-chained mapping. *)
 module Harness : sig
   (** [run chain p] tries each tier of [chain] in order (each via
@@ -48,4 +53,18 @@ module Harness : sig
       when no tier answers, the failure note carries the whole trail.
       Raises [Invalid_argument] on an empty chain. *)
   val run : ?seed:int -> ?deadline_s:float -> ?retries:int -> t list -> Problem.t -> outcome
+
+  (** [race chain p] runs every tier of [chain] concurrently on up to
+      [workers] domains (default {!Ocgra_par.Pool.default_workers}),
+      each with the whole [deadline_s] budget; the first *validated*
+      success wins and cancels the rest through the stop signal every
+      engine already polls, so the answer arrives in min-over-tiers
+      time instead of the chain's sum.  Losers are never killed: they
+      observe cancellation, return, and their failure notes form the
+      loser trail in the outcome [note].  With one worker or a single
+      tier this degrades to the sequential {!run} with [retries = 1].
+      Which tier wins a close race is timing-dependent, but the result
+      is always a validated mapping (or a failure carrying the whole
+      trail).  Raises [Invalid_argument] on an empty chain. *)
+  val race : ?seed:int -> ?deadline_s:float -> ?workers:int -> t list -> Problem.t -> outcome
 end

@@ -3,6 +3,13 @@
    pruning, node and wall-clock budgets so the exact mappers degrade
    gracefully instead of hanging on big kernels. *)
 
+(* There is deliberately no clock in here: the solver once kept a
+   private [Sys.time ()] deadline, but that is CPU time — a solver
+   that sleeps or pages was unbounded, and once worker domains run in
+   parallel CPU time sums across cores, expiring budgets early.  Time
+   budgets now arrive exclusively through [should_stop], built by the
+   caller from a monotonic [Ocgra_core.Deadline]. *)
+
 type var_kind = Continuous | Integer
 
 type problem = {
@@ -23,11 +30,9 @@ let int_tol = 1e-6
 
 let is_integral x = Float.abs (x -. Float.round x) < int_tol
 
-let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) ?(should_stop = fun () -> false)
-    (p : problem) =
+let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) =
   if Array.length p.kinds <> p.lp.n then invalid_arg "Ilp.solve: kinds length mismatch";
   let stats = { nodes = 0; lp_solves = 0 } in
-  let deadline = Sys.time () +. time_limit in
   let incumbent = ref None in
   let budget_hit = ref false in
   let better value =
@@ -37,8 +42,7 @@ let solve ?(max_nodes = 200_000) ?(time_limit = 10.0) ?(should_stop = fun () -> 
   in
   (* Extra bound rows accumulated along the branch-and-bound path. *)
   let rec branch extra_rows =
-    if stats.nodes >= max_nodes || Sys.time () > deadline || should_stop () then
-      budget_hit := true
+    if stats.nodes >= max_nodes || should_stop () then budget_hit := true
     else begin
       stats.nodes <- stats.nodes + 1;
       stats.lp_solves <- stats.lp_solves + 1;

@@ -1,6 +1,11 @@
 (** Mixed-integer programming by branch & bound on the LP relaxation:
-    most-fractional branching, depth-first with incumbent pruning, node
-    and wall-clock budgets so the exact mappers degrade gracefully. *)
+    most-fractional branching, depth-first with incumbent pruning, a
+    node budget and a caller-supplied stop signal so the exact mappers
+    degrade gracefully.  The solver keeps no clock of its own: time
+    budgets arrive through [should_stop], built from a monotonic
+    [Ocgra_core.Deadline] (the old private [Sys.time] deadline measured
+    CPU time, which a sleeping solver never spends and parallel worker
+    domains spend many times too fast). *)
 
 type var_kind = Continuous | Integer
 
@@ -21,5 +26,4 @@ type stats = { mutable nodes : int; mutable lp_solves : int }
 
 (** [should_stop] is polled once per branch-and-bound node (each node
     already pays an LP solve, so the hook is off the hot path). *)
-val solve :
-  ?max_nodes:int -> ?time_limit:float -> ?should_stop:(unit -> bool) -> problem -> outcome * stats
+val solve : ?max_nodes:int -> ?should_stop:(unit -> bool) -> problem -> outcome * stats

@@ -52,7 +52,7 @@ type outcome =
   | Unbounded
   | Limit
 
-let solve ?max_nodes ?time_limit ?should_stop t =
+let solve ?max_nodes ?should_stop t =
   let rows =
     List.rev_map (fun (terms, rel, rhs) -> (densify t terms, rel, rhs)) t.rows
     @ List.map
@@ -66,7 +66,7 @@ let solve ?max_nodes ?time_limit ?should_stop t =
     { Lp.n = t.n; maximize = t.maximize; objective = densify t t.objective; rows }
   in
   let kinds = Array.of_list (List.rev t.kinds) in
-  let outcome, stats = Ilp.solve ?max_nodes ?time_limit ?should_stop { lp; kinds } in
+  let outcome, stats = Ilp.solve ?max_nodes ?should_stop { lp; kinds } in
   let wrap value solution =
     let value_of v = solution.(v) in
     let int_value_of v = int_of_float (Float.round solution.(v)) in

@@ -32,7 +32,6 @@ type outcome =
     and the branch & bound statistics. *)
 val solve :
   ?max_nodes:int ->
-  ?time_limit:float ->
   ?should_stop:(unit -> bool) ->
   t ->
   outcome * int array option * Ilp.stats

@@ -73,8 +73,8 @@ let attempt (p : Problem.t) rng ~ii ~beam ~max_nodes ~dl =
   | () -> (None, !expanded, !complete)
   | exception Found m -> (Some m, !expanded, !complete)
 
-let map ?(beam = 10) ?(max_nodes = 40_000) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?(beam = 10) ?(max_nodes = 40_000) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   match p.kind with
   | Problem.Spatial ->
       let m, expanded, _ = attempt p rng ~ii:1 ~beam ~max_nodes ~dl in
@@ -99,7 +99,7 @@ let mapper =
   Mapper.make ~name:"branch-and-bound" ~citation:"Karunaratne et al. [42]; Das et al. [24]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_bb
     (fun p rng dl ->
-      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -15,11 +15,15 @@ val attempt :
 
 (** (mapping, total nodes expanded, proven optimal at MII).
     [deadline_s] bounds the run in wall-clock seconds (checked per
-    expanded search node). *)
+    expanded search node).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?beam:int ->
   ?max_nodes:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -97,8 +97,8 @@ let attempt (p : Problem.t) rng ~ii ~time_slack =
 (* Map at the smallest feasible II with random restarts.  The deadline
    is polled between attempts (each attempt is short), so an expired
    budget surfaces as a clean failure. *)
-let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let attempts = ref 0 in
   match p.kind with
   | Problem.Spatial ->

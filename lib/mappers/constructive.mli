@@ -21,11 +21,15 @@ val attempt :
 
 (** Map at the smallest feasible II with random restarts; returns
     (mapping, attempts, achieved the MII bound).  [deadline_s] bounds
-    the run in wall-clock seconds (polled between attempts). *)
+    the run in wall-clock seconds (polled between attempts).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?restarts:int ->
   ?time_slack:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

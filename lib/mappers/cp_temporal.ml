@@ -121,8 +121,8 @@ let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop =
   in
   retry routing_retries
 
-let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
@@ -145,7 +145,7 @@ let mapper =
   Mapper.make ~name:"cp" ~citation:"Raffin et al. [43]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_cp
     (fun p rng dl ->
-      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -4,9 +4,9 @@
 
 open Ocgra_core
 
-let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s (p : Problem.t)
+let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t)
     rng =
-  let dl = Deadline.of_seconds deadline_s in
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let attempts = ref 0 in
   let rec go k =
@@ -31,7 +31,7 @@ let mapper =
   Mapper.make ~name:"genmap-ga" ~citation:"Kojima et al. GenMap [19]"
     ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_population "GA")
     (fun p rng dl ->
-      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -1,11 +1,15 @@
 (** GenMap-style spatial mapping by genetic algorithm ([19]). *)
 
 (** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
-    seconds (checked between extractions). *)
+    seconds (checked between extractions).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?config:Ocgra_meta.Ga.config ->
   ?extractions:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

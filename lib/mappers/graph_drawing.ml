@@ -84,8 +84,8 @@ let snap (p : Problem.t) (x, y) =
   in
   if ok then Some genome else None
 
-let map ?(restarts = 10) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?(restarts = 10) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let attempts = ref 0 in
   let rec go r =
     if r >= restarts || Deadline.expired dl then None
@@ -104,7 +104,7 @@ let mapper =
   Mapper.make ~name:"graph-drawing" ~citation:"Yoon et al. [23]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
     (fun p rng dl ->
-      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -11,10 +11,14 @@ val layout :
 val snap : Ocgra_core.Problem.t -> float array * float array -> int array option
 
 (** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
-    seconds (checked between restarts). *)
+    seconds (checked between restarts).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?restarts:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

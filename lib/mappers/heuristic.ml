@@ -21,7 +21,7 @@ let modulo_mapper =
           Mapper.no_mapping ~note:"temporal mapper on spatial problem" ~attempts:0 ~elapsed_s:0.0 ()
       | Problem.Temporal _ ->
           let m, attempts, proven =
-            Constructive.map ~restarts:16 ?deadline_s:(Deadline.remaining_s dl) p rng
+            Constructive.map ~restarts:16 ~deadline:dl p rng
           in
           {
             Mapper.mapping = m;
@@ -36,7 +36,7 @@ let greedy_spatial_mapper =
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
     (fun p rng dl ->
       let m, attempts, _ =
-        Constructive.map ~restarts:24 ?deadline_s:(Deadline.remaining_s dl) p rng
+        Constructive.map ~restarts:24 ~deadline:dl p rng
       in
       {
         Mapper.mapping = m;
@@ -51,7 +51,7 @@ let constructive_mapper =
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
     (fun p rng dl ->
       let m, attempts, proven =
-        Constructive.map ~restarts:32 ~time_slack:8 ?deadline_s:(Deadline.remaining_s dl) p rng
+        Constructive.map ~restarts:32 ~time_slack:8 ~deadline:dl p rng
       in
       {
         Mapper.mapping = m;

@@ -20,6 +20,14 @@ module Model = Ocgra_ilp.Model
 module Lp = Ocgra_ilp.Lp
 module Rng = Ocgra_util.Rng
 
+(* Per-LP-solve time budget on the monotonic clock, composed with the
+   caller's deadline/cancellation signal (the ILP core keeps no clock
+   of its own).  Built at the call site so each solve gets a fresh
+   window. *)
+let bounded ~seconds should_stop =
+  let dl = Deadline.after ~seconds in
+  fun () -> should_stop () || Deadline.expired dl
+
 let capable (p : Problem.t) v =
   let npe = Ocgra_arch.Cgra.pe_count p.cgra in
   List.filter (fun pe -> Ocgra_arch.Cgra.supports p.cgra pe (Dfg.op p.dfg v)) (List.init npe Fun.id)
@@ -68,7 +76,7 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
            List.map (fun (_, x) -> (float_of_int (Rng.int rng jitter) /. 100.0, x)) ws)
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:500 ~time_limit:1.5 ~should_stop m with
+  match Model.solve ~max_nodes:500 ~should_stop:(bounded ~seconds:1.5 should_stop) m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let genome = Array.make n (-1) in
       Array.iteri
@@ -77,8 +85,8 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
       if Array.for_all (fun pe -> pe >= 0) genome then Some genome else None
   | _ -> None
 
-let spatial_map ?(retries = 3) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let spatial_map ?(retries = 3) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   let attempts = ref 0 in
   let rec caps cap =
@@ -109,7 +117,7 @@ let spatial =
   Mapper.make ~name:"ilp-spatial" ~citation:"Chin & Anderson [34]; Yoon et al. [23]; Nowatzki et al. [35]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Exact_ilp
     (fun p rng dl ->
-      let m, attempts = spatial_map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts = spatial_map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;
@@ -193,7 +201,7 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
     |> List.map (fun (c, x) -> (c +. (float_of_int (Rng.int rng jitter) /. 100.0), x))
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:600 ~time_limit:2.0 ~should_stop m with
+  match Model.solve ~max_nodes:600 ~should_stop:(bounded ~seconds:2.0 should_stop) m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let binding = Array.make n (-1, -1) in
       Array.iteri
@@ -202,13 +210,13 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
       if Array.for_all (fun (pe, _) -> pe >= 0) binding then Some binding else None
   | _ -> None
 
-let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) (p : Problem.t) rng =
+let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) ?(deadline = Deadline.none) (p : Problem.t) rng =
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
       let mii = Mii.mii p.dfg p.cgra in
       let attempts = ref 0 in
-      let dl = Deadline.after ~seconds:deadline_s in
+      let dl = Deadline.sooner deadline (Deadline.after ~seconds:deadline_s) in
       let should_stop = Deadline.should_stop dl in
       let rec over_ii ii =
         if ii > max_ii || Deadline.expired dl then (None, false)
@@ -241,7 +249,7 @@ let temporal =
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_ilp
     (fun p rng dl ->
       let m, attempts, proven =
-        temporal_map ?deadline_s:(Deadline.remaining_s dl) p rng
+        temporal_map ~deadline:dl p rng
       in
       {
         Mapper.mapping = m;
@@ -298,22 +306,22 @@ let schedule_solve (p : Problem.t) ~ii ~win ~should_stop (pes : int array) =
         (float_of_int (lat + needed - (e.dist * ii))))
     (Dfg.edges dfg);
   Model.set_objective m (Array.to_list cands |> List.concat |> List.map (fun (t, x) -> (float_of_int t, x)));
-  match Model.solve ~max_nodes:800 ~time_limit:2.0 ~should_stop m with
+  match Model.solve ~max_nodes:800 ~should_stop:(bounded ~seconds:2.0 should_stop) m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       let times = Array.make n (-1) in
       Array.iteri (fun v cs -> List.iter (fun (t, x) -> if values.(x) = 1 then times.(v) <- t) cs) cands;
       if Array.for_all (fun t -> t >= 0) times then Some times else None
   | _ -> None
 
-let schedule_map ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let schedule_map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0)
   | Problem.Temporal _ ->
       (* binding skeleton from the constructive heuristic *)
       let attempts = ref 0 in
-      (match Constructive.map ~restarts:8 ?deadline_s:(Deadline.remaining_s dl) p rng with
+      (match Constructive.map ~restarts:8 ~deadline:dl p rng with
       | None, a, _ ->
           attempts := a;
           (None, !attempts)
@@ -334,7 +342,7 @@ let schedule =
   Mapper.make ~name:"ilp-schedule" ~citation:"Guo et al. [15]; Mu et al. [53]"
     ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Exact_ilp
     (fun p rng dl ->
-      let m, attempts = schedule_map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts = schedule_map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

@@ -95,8 +95,8 @@ let bind (p : Problem.t) ~ii times =
         Some { Mapping.ii; binding; routes }
   end
 
-let map ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
@@ -125,7 +125,7 @@ let mapper =
   Mapper.make ~name:"iso-binding" ~citation:"Hamzeh et al. EPIMap [28]; Chen & Mitra [27]; Peyret et al. [47]"
     ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
     (fun p rng dl ->
-      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

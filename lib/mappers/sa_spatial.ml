@@ -5,8 +5,8 @@
 open Ocgra_core
 
 let map ?(config = { Ocgra_meta.Sa.default_config with max_steps = 20_000 }) ?(extractions = 10)
-    ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+    ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let attempts = ref 0 in
   let rec go k =
@@ -30,7 +30,7 @@ let mapper =
   Mapper.make ~name:"sa-spatial" ~citation:"Friedman et al. SPR [49]; SNAFU [33]; DSAGEN [32]"
     ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_local "SA")
     (fun p rng dl ->
-      let m, attempts = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;

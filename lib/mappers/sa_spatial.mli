@@ -2,11 +2,15 @@
     SPR/SNAFU/DSAGEN school [49], [33], [32]). *)
 
 (** (mapping, attempts).  [deadline_s] bounds the run in wall-clock
-    seconds (checked between extractions). *)
+    seconds (checked between extractions).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?config:Ocgra_meta.Sa.config ->
   ?extractions:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

@@ -96,8 +96,8 @@ let try_ii (p : Problem.t) rng ~ii ~config =
   in
   attempt_extract 8 best
 
-let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s (p : Problem.t) rng =
-  let dl = Deadline.of_seconds deadline_s in
+let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   match p.kind with
   | Problem.Spatial -> invalid_arg "Sa_temporal.map: use Sa_spatial for spatial problems"
   | Problem.Temporal { max_ii; _ } ->
@@ -126,7 +126,7 @@ let mapper =
   Mapper.make ~name:"dresc-sa" ~citation:"Mei et al. [22]; Hatanaka & Bagherzadeh [30]"
     ~scope:Taxonomy.Temporal_mapping ~approach:(Taxonomy.Meta_local "SA")
     (fun p rng dl ->
-      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

@@ -208,9 +208,9 @@ let extract (p : Problem.t) inst ~ii =
   in
   { Mapping.ii; binding; routes }
 
-let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s (p : Problem.t) rng =
+let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
   ignore rng;
-  let dl = Deadline.of_seconds deadline_s in
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false, "spatial problems use the ILP/heuristic spatial mappers")
@@ -239,7 +239,7 @@ let mapper =
   Mapper.make ~name:"sat" ~citation:"Miyasaka et al. [17]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_sat
     (fun p rng dl ->
-      let m, attempts, proven, note = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven, note = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

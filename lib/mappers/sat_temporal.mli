@@ -6,11 +6,15 @@
 
 (** (mapping, attempts, proven optimal, note).  [deadline_s] bounds the
     run in wall-clock seconds (threaded into the CDCL search as a
-    [should_stop] hook). *)
+    [should_stop] hook).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?slack:int ->
   ?max_conflicts:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool * string

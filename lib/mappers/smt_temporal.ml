@@ -103,9 +103,9 @@ let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop =
   in
   extract_loop routing_retries
 
-let map ?(routing_retries = 6) ?deadline_s (p : Problem.t) rng =
+let map ?(routing_retries = 6) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
   ignore rng;
-  let dl = Deadline.of_seconds deadline_s in
+  let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
@@ -132,7 +132,7 @@ let mapper =
   Mapper.make ~name:"smt" ~citation:"Donovick et al. [44]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_smt
     (fun p rng dl ->
-      let m, attempts, proven = map ?deadline_s:(Deadline.remaining_s dl) p rng in
+      let m, attempts, proven = map ~deadline:dl p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;

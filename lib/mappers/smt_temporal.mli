@@ -5,10 +5,14 @@
 
 (** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
     the run in wall-clock seconds (threaded into the lazy SMT loop and
-    the inner SAT search). *)
+    the inner SAT search).
+    [deadline] additionally threads an externally built deadline --
+    including any attached cancellation hook -- into the same stop
+    signal. *)
 val map :
   ?routing_retries:int ->
   ?deadline_s:float ->
+  ?deadline:Ocgra_core.Deadline.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

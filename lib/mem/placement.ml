@@ -84,7 +84,9 @@ let ilp ~banks arrays =
   in
   pairs arrays;
   Model.set_objective m !objective;
-  match Model.solve ~max_nodes:2000 ~time_limit:5.0 m with
+  (* 5 s monotonic budget (the ILP core keeps no clock of its own) *)
+  let stop = Ocgra_core.Deadline.(should_stop (after ~seconds:5.0)) in
+  match Model.solve ~max_nodes:2000 ~should_stop:stop m with
   | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
       Some
         (List.map

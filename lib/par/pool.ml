@@ -1,0 +1,67 @@
+(* Domain pool over a shared atomic task counter.
+
+   Each worker claims the next unclaimed task index with
+   [Atomic.fetch_and_add]; every slot of [results] is written by
+   exactly one domain and read only after the joins, so the only
+   synchronisation needed is the counter itself and the happens-before
+   edge of [Domain.join].  Exceptions are captured per task and the
+   lowest-index one is re-raised once the pool has drained — a failing
+   task never leaves sibling domains unjoined. *)
+
+let default_workers () =
+  match Sys.getenv_opt "OCGRA_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let resolve workers n =
+  let w = match workers with Some w -> max 1 w | None -> default_workers () in
+  min w (max 1 n)
+
+(* Shared worker loop: claim, run, record.  [on_done] lets Race hook
+   winner election onto task completion without a second pool. *)
+let drain ~workers ~on_done (tasks : (unit -> 'a) array) =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Ok (tasks.(i) ())
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        (match r with Ok v -> on_done i v | Error _ -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if workers <= 1 || n <= 1 then worker ()
+  else begin
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  (* surface the lowest-index failure, then unwrap in task order *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error _) | None ->
+          assert false (* every index < n is claimed exactly once *))
+    results
+
+let run ?workers tasks =
+  drain ~workers:(resolve workers (Array.length tasks)) ~on_done:(fun _ _ -> ()) tasks
+
+let map_list ?workers f xs =
+  Array.to_list (run ?workers (Array.map (fun x () -> f x) (Array.of_list xs)))

@@ -1,0 +1,40 @@
+(** A work-stealing-free domain pool: parallel evaluation of an array
+    of independent thunks on stdlib [Domain]s (OCaml 5, no domainslib).
+
+    Tasks are claimed from a shared atomic counter, so the pool load
+    balances uneven tasks; results land at the index of their thunk, so
+    the output order never depends on scheduling.  With one worker (or
+    one task) no domain is spawned and evaluation is today's sequential
+    loop — callers degrade gracefully on a 1-core host.
+
+    Thread-safety contract for thunks: they run concurrently on
+    separate domains, so they must not share mutable state (in
+    particular, never a shared [Ocgra_util.Rng.t] — split it, or
+    pre-draw seeds, before the fan-out; see rng.mli). *)
+
+(** Worker count used when [?workers] is omitted: the [OCGRA_JOBS]
+    environment variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+val default_workers : unit -> int
+
+(** [run ?workers tasks] evaluates every thunk and returns their
+    results in task order.  If any task raises, the first (lowest
+    index) exception is re-raised after all workers have drained.
+    [workers] is clamped to at least 1 and never exceeds the task
+    count. *)
+val run : ?workers:int -> (unit -> 'a) array -> 'a array
+
+(** [map_list ?workers f xs] is [List.map f xs] with the applications
+    sharded across the pool (order preserved). *)
+val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(**/**)
+
+(** Internal: resolve an optional worker request against the default
+    and a task count. *)
+val resolve : int option -> int -> int
+
+(** Internal plumbing shared with {!Race}: [workers] must already be
+    resolved; [on_done i v] runs on the worker domain right after task
+    [i] returns [v] (not called for raising tasks). *)
+val drain : workers:int -> on_done:(int -> 'a -> unit) -> (unit -> 'a) array -> 'a array

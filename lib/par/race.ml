@@ -1,0 +1,18 @@
+(* First-acceptable-result election on top of the pool's worker loop.
+
+   The winner slot is an atomic index; the first domain whose result
+   passes [accept] claims it with compare-and-set and trips the shared
+   cancellation flag.  Everything else — task claiming, result
+   placement, exception policy — is [Pool.drain]. *)
+
+let run ?workers ~cancel ~accept (thunks : (unit -> 'a) array) =
+  let n = Array.length thunks in
+  let winner = Atomic.make (-1) in
+  let on_done i v =
+    if accept v && Atomic.compare_and_set winner (-1) i then Cancel.set cancel
+  in
+  let results =
+    Pool.drain ~workers:(Pool.resolve workers n) ~on_done thunks
+  in
+  let w = Atomic.get winner in
+  (results, if w < 0 then None else Some w)

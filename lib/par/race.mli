@@ -1,0 +1,26 @@
+(** Portfolio racing: run competing thunks concurrently, elect the
+    first acceptable result, and cancel the rest.
+
+    The race never kills a domain: losers observe [cancel] through
+    their own [should_stop]-style polling (compose it into the stop
+    signal you hand each competitor) and return their best partial
+    answer, so [run] always yields one result per thunk — the loser
+    trail a caller needs for diagnostics.  The winner is the first
+    competitor *by completion time* whose result satisfies [accept];
+    when competitors finish near-simultaneously the election is decided
+    by a single compare-and-set, so exactly one wins. *)
+
+(** [run ?workers ~cancel ~accept thunks] evaluates every thunk (at
+    most [workers] concurrently), sets [cancel] as soon as some result
+    satisfies [accept], and returns all results in thunk order plus
+    the winner's index, if any.  With one worker the thunks run
+    sequentially in order — [cancel] is still set by the first
+    acceptable result, so later thunks see it and return quickly.
+    If a thunk raises, the lowest-index exception is re-raised after
+    the pool drains. *)
+val run :
+  ?workers:int ->
+  cancel:Cancel.t ->
+  accept:('a -> bool) ->
+  (unit -> 'a) array ->
+  'a array * int option

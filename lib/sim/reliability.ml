@@ -77,37 +77,45 @@ let classify (p : Problem.t) (m : Mapping.t) ~io ~iters ~expected ~transients =
 
 (* [mk_io] must build a *fresh* io per trial: Store ops mutate the
    memory arrays, and a corrupted trial must not leak state into the
-   next one. *)
-let run_campaign (p : Problem.t) (m : Mapping.t) ~mk_io ~iters ~expected ~trials ~rate ~seed =
+   next one.  (It is also called concurrently from worker domains, so
+   it must not close over unsynchronised mutable state — the kernel
+   library's stream/memory builders allocate fresh arrays.)
+
+   Trials are embarrassingly parallel, and the report must not depend
+   on how they interleave: every per-trial seed is drawn from the
+   campaign RNG *before* the fan-out, in trial order — exactly the
+   stream the old sequential loop drew — and the per-trial
+   classifications land in a trial-indexed array that is folded
+   sequentially.  The report is therefore bit-identical for any
+   [workers], including 1; [Rng.t] itself is domain-unsafe and never
+   crosses the fan-out (see rng.mli). *)
+let run_campaign ?workers (p : Problem.t) (m : Mapping.t) ~mk_io ~iters ~expected ~trials ~rate
+    ~seed =
   if trials < 0 then invalid_arg "Reliability.run_campaign: negative trial count";
   let rng = Ocgra_util.Rng.create (0xCA4A1 lxor seed) in
   let hz = horizon m ~iters in
-  let correct = ref 0 and masked = ref 0 and detected = ref 0 in
-  let sdc = ref 0 and crash = ref 0 in
-  let injected = ref 0 and applied = ref 0 in
-  for _trial = 1 to trials do
-    let tseed = Ocgra_util.Rng.bits rng in
-    let transients = Ocgra_arch.Cgra.inject_transients p.cgra ~seed:tseed ~horizon:hz ~rate in
-    injected := !injected + List.length transients;
-    let cls, ts = classify p m ~io:(mk_io ()) ~iters ~expected ~transients in
-    (match ts with Some ts -> applied := !applied + ts.Machine.applied | None -> ());
-    match cls with
-    | Correct -> incr correct
-    | Masked -> incr masked
-    | Detected -> incr detected
-    | Sdc -> incr sdc
-    | Crash -> incr crash
+  let seeds = Array.make trials 0 in
+  for t = 0 to trials - 1 do
+    seeds.(t) <- Ocgra_util.Rng.bits rng
   done;
-  {
-    trials;
-    correct = !correct;
-    masked = !masked;
-    detected = !detected;
-    sdc = !sdc;
-    crash = !crash;
-    injected = !injected;
-    applied = !applied;
-  }
+  let trial tseed () =
+    let transients = Ocgra_arch.Cgra.inject_transients p.cgra ~seed:tseed ~horizon:hz ~rate in
+    let cls, ts = classify p m ~io:(mk_io ()) ~iters ~expected ~transients in
+    let applied = match ts with Some ts -> ts.Machine.applied | None -> 0 in
+    (cls, List.length transients, applied)
+  in
+  let per_trial = Ocgra_par.Pool.run ?workers (Array.map trial seeds) in
+  Array.fold_left
+    (fun r (cls, injected, applied) ->
+      let r = { r with injected = r.injected + injected; applied = r.applied + applied } in
+      match cls with
+      | Correct -> { r with correct = r.correct + 1 }
+      | Masked -> { r with masked = r.masked + 1 }
+      | Detected -> { r with detected = r.detected + 1 }
+      | Sdc -> { r with sdc = r.sdc + 1 }
+      | Crash -> { r with crash = r.crash + 1 })
+    { trials; correct = 0; masked = 0; detected = 0; sdc = 0; crash = 0; injected = 0; applied = 0 }
+    per_trial
 
 (* ---------- hardening overhead ---------- *)
 

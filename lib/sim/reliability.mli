@@ -48,10 +48,17 @@ val classify :
 
 (** [run_campaign p m ~mk_io ~iters ~expected ~trials ~rate ~seed]
     executes [trials] independent seeded trials at per-(PE, cycle)
-    event probability [rate].  [mk_io] must build a fresh io per trial
-    (Store ops mutate memory).  Deterministic in [seed].  Raises
-    [Invalid_argument] on a negative trial count. *)
+    event probability [rate], sharded across [workers] domains
+    (default {!Ocgra_par.Pool.default_workers}).  All per-trial seeds
+    are pre-drawn from the campaign RNG before the fan-out and the
+    per-trial results are folded in trial order, so the report is
+    bit-identical for every worker count — deterministic in [seed]
+    alone.  [mk_io] must build a fresh io per trial (Store ops mutate
+    memory) and is called from worker domains, so it must not close
+    over unsynchronised mutable state.  Raises [Invalid_argument] on a
+    negative trial count. *)
 val run_campaign :
+  ?workers:int ->
   Ocgra_core.Problem.t ->
   Ocgra_core.Mapping.t ->
   mk_io:(unit -> Machine.io) ->

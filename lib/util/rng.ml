@@ -3,7 +3,11 @@
    All stochastic components of the framework (meta-heuristics, random
    workload generation, randomized restarts) draw from this generator so
    that every experiment is reproducible from a single integer seed.
-   The core is splitmix64, which has a trivially splittable state. *)
+   The core is splitmix64, which has a trivially splittable state.
+
+   The state is one unsynchronised mutable cell: a [t] must never be
+   shared across domains (see the contract in rng.mli) — pre-draw
+   seeds or [split] per domain before any fan-out. *)
 
 type t = { mutable state : int64 }
 

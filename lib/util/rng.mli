@@ -2,7 +2,22 @@
 
     Every stochastic component of the framework draws from this
     generator, so each experiment is reproducible from one integer
-    seed. *)
+    seed.
+
+    {b Thread-safety contract:} a [t] is a single mutable cell with no
+    synchronisation — it is {e not} domain-safe.  Sharing one across
+    domains is a data race, and even a benign-looking concurrent draw
+    destroys reproducibility: the stream then depends on scheduler
+    interleaving.  The discipline for parallel code (enforced by
+    [Ocgra_par] consumers, see DESIGN.md):
+
+    - never hand the same [t] to two domains;
+    - {e before} the fan-out, either pre-draw whatever the parallel
+      section needs (per-trial seeds, drawn in task order), or give
+      each domain its own generator via {!split};
+    - the parent's stream advances the same number of steps regardless
+      of worker count, so results stay bit-identical from 1 to N
+      domains. *)
 
 type t
 

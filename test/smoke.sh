@@ -25,6 +25,19 @@ echo "$OUT" | grep -q "campaign (tmr"
 echo "$OUT" | grep -q "baseline (none"
 echo "$OUT" | grep -q "hardening overhead:"
 
+# portfolio racing: the same fallback chain raced across domains must
+# still end in a validated mapping, and the note must say who won
+"$OCGRA" map -k fir4 --fallback sat,modulo-greedy --jobs 2 --deadline 10 \
+  | grep -q "race won by tier"
+
+# parallel reliability campaign: the report must be byte-identical to
+# the sequential one (seeds are pre-drawn, fold order is fixed)
+SEQ=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 1 | grep "campaign (")
+PAR=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 2 | grep "campaign (")
+[ "$SEQ" = "$PAR" ]
+
 # an impossible fault load must fail cleanly (exit 0 + explanation),
 # never crash or report an invalid mapping as success
 "$OCGRA" map -k fir4 --rows 2 --cols 2 --faults 4 --fault-seed 3 --deadline 2 \

@@ -135,7 +135,13 @@ let qcheck_binary_programs =
         }
       in
       let expected = brute_force_binary ~n ~maximize ~objective ~rows in
-      match (fst (Ilp.solve ~max_nodes:20000 ~time_limit:5.0 p), expected) with
+      match
+        ( fst
+            (Ilp.solve ~max_nodes:20000
+               ~should_stop:(Ocgra_core.Deadline.should_stop (Ocgra_core.Deadline.after ~seconds:5.0))
+               p),
+          expected )
+      with
       | Ilp.Optimal { value; _ }, Some e -> Float.abs (value -. e) < 1e-4
       | Ilp.Infeasible, None -> true
       | Ilp.Optimal _, None -> false
