@@ -38,6 +38,49 @@ let slow_mappers = [ "ilp-temporal"; "cp"; "sat"; "ilp-spatial" ]
    time and sums across workers — and a mapper's "time" column is the
    sum of its cells' mapping times (comparable across mappers
    regardless of interleaving). *)
+(* Minimal JSON string escaping for the BENCH_PR5.json emitter: cell
+   names are plain identifiers, but stay safe anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Machine-readable companion of the t1b sweep: one record per
+   (mapper, kernel) cell with the II, mapping time and the engine
+   counters that cell's private metrics sink accumulated. *)
+let write_bench_json path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n\"bench\": \"table1-empirical\",\n\"cells\": [\n";
+      List.iteri
+        (fun i (mapper, kernel, ii, proven, dt, counters) ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc
+            (Printf.sprintf "{\"mapper\": \"%s\", \"kernel\": \"%s\", \"ii\": %s, "
+               (json_escape mapper) (json_escape kernel)
+               (match ii with Some ii -> string_of_int ii | None -> "null"));
+          output_string oc
+            (Printf.sprintf "\"proven_optimal\": %b, \"map_time_s\": %.6f, \"counters\": {"
+               proven dt);
+          List.iteri
+            (fun j (name, v) ->
+              if j > 0 then output_string oc ", ";
+              output_string oc (Printf.sprintf "\"%s\": %d" (json_escape name) v))
+            counters;
+          output_string oc "}}")
+        records;
+      output_string oc "\n]\n}\n")
+
 let t1b () =
   section "Table I (empirical): one implemented representative per cell, common suite";
   let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
@@ -62,7 +105,10 @@ let t1b () =
         Ocgra_core.Problem.spatial ~init:k.init ~dfg:k.dfg ~cgra:cgra_spatial ()
       else Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:12 ()
     in
-    let o = Ocgra_core.Mapper.run mapper ~seed:7 p in
+    (* a private metrics sink per cell: counter deltas attribute to
+       exactly this (mapper, kernel) pair even across worker domains *)
+    let obs = Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics:(Ocgra_obs.Metrics.create ()) in
+    let o = Ocgra_core.Mapper.run mapper ~seed:7 ~obs p in
     let dt = Ocgra_core.Deadline.now () -. t0 in
     let shown =
       match o.mapping with
@@ -71,17 +117,30 @@ let t1b () =
             (if o.proven_optimal then "*" else "")
       | None -> "-"
     in
-    (shown, dt)
+    let ii = Option.map (fun m -> m.Ocgra_core.Mapping.ii) o.mapping in
+    (shown, dt, ii, o.proven_optimal, Ocgra_obs.Metrics.dump (Ocgra_obs.Ctx.metrics obs))
   in
   let tasks =
     Array.of_list (List.concat_map (fun m -> List.map (cell m) suite) mappers)
   in
   let cells = Ocgra_par.Pool.run tasks in
+  let records =
+    List.concat
+      (List.mapi
+         (fun mi (mapper : Ocgra_core.Mapper.t) ->
+           List.mapi
+             (fun ki (k : Kernels.t) ->
+               let _, dt, ii, proven, counters = cells.((mi * nk) + ki) in
+               (mapper.name, k.name, ii, proven, dt, counters))
+             suite)
+         mappers)
+  in
+  write_bench_json "BENCH_PR5.json" records;
   let rows =
     List.mapi
       (fun mi (mapper : Ocgra_core.Mapper.t) ->
         let row = Array.sub cells (mi * nk) nk in
-        let dt = Array.fold_left (fun acc (_, d) -> acc +. d) 0.0 row in
+        let dt = Array.fold_left (fun acc (_, d, _, _, _) -> acc +. d) 0.0 row in
         let scope_tag =
           match mapper.scope with
           | Ocgra_core.Taxonomy.Spatial_mapping -> "S"
@@ -95,7 +154,7 @@ let t1b () =
         in
         Array.of_list
           ((mapper.name :: Printf.sprintf "%s/%s" scope_tag col
-            :: List.map fst (Array.to_list row))
+            :: List.map (fun (shown, _, _, _, _) -> shown) (Array.to_list row))
           @ [ Printf.sprintf "%.1fs" dt ]))
       mappers
   in
@@ -103,7 +162,8 @@ let t1b () =
   print_endline "  *  = II proven optimal (success at the MII lower bound)";
   print_endline "  S(patial) rows run at II=1 on a diagonal-topology array; '-' = mapping failed";
   Printf.printf "  cells mapped on %d worker domain(s); time = summed per-cell mapping time\n"
-    (Ocgra_par.Pool.default_workers ())
+    (Ocgra_par.Pool.default_workers ());
+  print_endline "  machine-readable sweep written to BENCH_PR5.json"
 
 (* ------------------------------------------------------------------ *)
 (* F1: architecture-class comparison                                   *)

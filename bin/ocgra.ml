@@ -84,19 +84,52 @@ let fault_rate_t =
     & info [ "fault-rate" ]
         ~doc:"Transient-event probability per PE per cycle during the campaign.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the run to $(docv) (chrome://tracing).")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's counters to $(docv): a flat JSON object when the path ends in .json, \
+           $(b,key=value) lines otherwise.  Dumps are name-sorted with integer values only, so \
+           two runs that did the same work are byte-identical.")
+
+(* The observability context is live exactly when at least one output
+   file was asked for; with neither flag the whole stack sees
+   [Ctx.off] and pays one branch per instrumented site. *)
+let mk_obs trace metrics =
+  match (trace, metrics) with
+  | None, None -> Ocgra_obs.Ctx.off
+  | _ ->
+      Ocgra_obs.Ctx.v
+        ~trace:(if trace <> None then Ocgra_obs.Trace.create () else Ocgra_obs.Trace.off)
+        ~metrics:(if metrics <> None then Ocgra_obs.Metrics.create () else Ocgra_obs.Metrics.off)
+
+let write_obs obs trace metrics =
+  Option.iter (Ocgra_obs.Export.write_chrome_trace (Ocgra_obs.Ctx.trace obs)) trace;
+  Option.iter (Ocgra_obs.Export.write_metrics (Ocgra_obs.Ctx.metrics obs)) metrics
+
 (* Map through the fallback harness when a chain is given, else through
    the single named mapper; both paths validate the result.  With
    [jobs] > 1 the chain is raced across domains instead of walked in
    order — same validated answer contract, min-over-tiers latency. *)
-let run_mapper mapper fallback seed deadline jobs p =
+let run_mapper ?(obs = Ocgra_obs.Ctx.off) mapper fallback seed deadline jobs p =
   match fallback with
   | Some spec ->
       let chain = Ocgra_mappers.Registry.chain_of_spec spec in
       let workers = resolve_jobs jobs in
       if workers > 1 then
-        Ocgra_core.Mapper.Harness.race ~seed ?deadline_s:deadline ~workers chain p
-      else Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline chain p
-  | None -> Ocgra_core.Mapper.run (Ocgra_mappers.Registry.find mapper) ~seed ?deadline_s:deadline p
+        Ocgra_core.Mapper.Harness.race ~seed ?deadline_s:deadline ~workers ~obs chain p
+      else Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline ~obs chain p
+  | None ->
+      Ocgra_core.Mapper.run (Ocgra_mappers.Registry.find mapper) ~seed ?deadline_s:deadline ~obs p
 
 let list_cmd =
   let run () =
@@ -132,12 +165,13 @@ let problem_of kernel spatial cgra =
 
 let map_cmd =
   let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback jobs
-      =
+      trace metrics =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
-    let o = run_mapper mapper fallback seed deadline jobs p in
-    match o.mapping with
+    let obs = mk_obs trace metrics in
+    let o = run_mapper ~obs mapper fallback seed deadline jobs p in
+    (match o.mapping with
     | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
     | Some mapping ->
         let cost = Ocgra_core.Cost.of_mapping p mapping in
@@ -145,16 +179,24 @@ let map_cmd =
           (Ocgra_core.Cost.to_string cost)
           (if o.proven_optimal then ", II optimal" else "")
           o.elapsed_s o.attempts o.note;
-        print_string (Ocgra_core.Mapping.to_grid mapping k.dfg cgra)
+        print_string (Ocgra_core.Mapping.to_grid mapping k.dfg cgra));
+    if o.trail <> [] then begin
+      Printf.printf "tiers:\n";
+      List.iter
+        (fun r -> Printf.printf "  %s\n" (Ocgra_core.Mapper.report_to_string r))
+        o.trail
+    end;
+    write_obs obs trace metrics
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ jobs_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ jobs_t $ trace_t $ metrics_t)
 
 let sim_cmd =
   let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
-      campaign fault_rate jobs =
+      campaign fault_rate jobs trace metrics =
+    let obs = mk_obs trace metrics in
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
       Printf.printf "faults: %s\n"
@@ -174,13 +216,13 @@ let sim_cmd =
         (Ocgra_dfg.Harden.mode_to_string mode)
         (Ocgra_dfg.Dfg.node_count k.dfg)
         (Ocgra_dfg.Dfg.node_count hdfg);
-    let o = run_mapper mapper fallback seed deadline jobs p in
-    match o.mapping with
+    let o = run_mapper ~obs mapper fallback seed deadline jobs p in
+    (match o.mapping with
     | None -> Printf.printf "mapping failed (%s)\n" o.note
     | Some mapping -> (
         Printf.printf "mapped in %.2fs (%s)\n" o.elapsed_s o.note;
         let mk_io () = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
-        match Ocgra_sim.Machine.run p mapping (mk_io ()) ~iters with
+        match Ocgra_sim.Machine.run ~obs p mapping (mk_io ()) ~iters with
         | exception Ocgra_sim.Machine.Simulation_error e ->
             Printf.printf "simulation refused: cycle %d, PE %d: %s\n" e.cycle e.pe e.message
         | result ->
@@ -205,7 +247,7 @@ let sim_cmd =
                  bit-identical for any worker count *)
               let workers = resolve_jobs jobs in
               let rep =
-                Ocgra_sim.Reliability.run_campaign ~workers p mapping ~mk_io ~iters ~expected
+                Ocgra_sim.Reliability.run_campaign ~workers ~obs p mapping ~mk_io ~iters ~expected
                   ~trials:campaign ~rate:fault_rate ~seed:fault_seed
               in
               Printf.printf "campaign (%s, rate %g, seed %d): %s\n"
@@ -232,14 +274,15 @@ let sim_cmd =
                     Printf.printf "hardening overhead: %s\n"
                       (Ocgra_sim.Reliability.overhead_to_string ov)
               end
-            end)
+            end));
+    write_obs obs trace metrics
   in
   let iters_t = Arg.(value & opt int 12 & info [ "iters" ] ~doc:"Loop iterations.") in
   Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t
-      $ jobs_t)
+      $ jobs_t $ trace_t $ metrics_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

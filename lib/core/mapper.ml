@@ -6,9 +6,44 @@
    validator so an invalid mapping is reported as a failure, never as a
    success.  [Harness] adds the production wrapper: wall-clock
    deadlines, retries and an ordered fallback chain for degraded-array
-   or budget-limited service. *)
+   or budget-limited service.
+
+   Techniques receive an [Ocgra_obs.Ctx.t] alongside the deadline:
+   they record spans around their phases and flush their engine
+   counters (SAT conflicts, B&B nodes, CP propagations, ...) into it.
+   The default is [Ctx.off], whose every operation is one branch, so
+   an untraced run does the same work it always did. *)
 
 module Rng = Ocgra_util.Rng
+module Obs = Ocgra_obs.Ctx
+
+(* What happened to one tier try, machine-readable.  [Failed] covers
+   both "technique gave up" and "produced an invalid mapping" (the
+   latter is flagged by the INVALID prefix in [detail]); [Cancelled]
+   means the tier was told to stop because a sibling already won;
+   [Expired] that its wall-clock share ran out first. *)
+type verdict = Won | Mapped_lost | Failed | Cancelled | Expired
+
+let verdict_to_string = function
+  | Won -> "won"
+  | Mapped_lost -> "mapped but lost the race"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+  | Expired -> "deadline expired"
+
+type tier_report = {
+  tier : string; (* mapper name *)
+  try_no : int; (* 0-based retry index *)
+  verdict : verdict;
+  took_s : float; (* wall clock this try consumed *)
+  detail : string; (* the tier's own outcome note *)
+  counters : (string * int) list; (* tier-attributed metrics (racing only) *)
+}
+
+let report_to_string r =
+  Printf.sprintf "%s[try %d]: %s in %.2fs%s" r.tier (r.try_no + 1)
+    (verdict_to_string r.verdict) r.took_s
+    (if r.detail = "" then "" else " — " ^ r.detail)
 
 type outcome = {
   mapping : Mapping.t option;
@@ -16,6 +51,7 @@ type outcome = {
   attempts : int; (* IIs tried, restarts, ... (method-specific) *)
   elapsed_s : float;
   note : string;
+  trail : tier_report list; (* per-tier-try records ([] outside the harness) *)
 }
 
 type t = {
@@ -23,13 +59,15 @@ type t = {
   citation : string; (* representative papers from the survey *)
   scope : Taxonomy.scope;
   approach : Taxonomy.approach;
-  map : Problem.t -> Rng.t -> Deadline.t -> outcome;
+  map : Problem.t -> Rng.t -> Deadline.t -> Obs.t -> outcome;
 }
 
 let make ~name ~citation ~scope ~approach map = { name; citation; scope; approach; map }
 
 let no_mapping ?(note = "") ~attempts ~elapsed_s () =
-  { mapping = None; proven_optimal = false; attempts; elapsed_s; note }
+  { mapping = None; proven_optimal = false; attempts; elapsed_s; note; trail = [] }
+
+let is_invalid_note note = String.length note >= 7 && String.sub note 0 7 = "INVALID"
 
 (* Run a mapper and validate its output; invalid results are demoted to
    failures with the violations in [note].  [elapsed_s] is measured
@@ -37,7 +75,7 @@ let no_mapping ?(note = "") ~attempts ~elapsed_s () =
    never trusted.  An unmappable problem (some op with no capable,
    non-faulted PE) fails fast without entering the technique, since
    several meta-heuristics assume non-empty candidate sets. *)
-let run_d (mapper : t) ?(seed = 42) ~deadline:dl (p : Problem.t) =
+let run_d (mapper : t) ?(seed = 42) ?(obs = Obs.off) ~deadline:dl (p : Problem.t) =
   let rng = Rng.create seed in
   let t0 = Deadline.now () in
   let finish outcome = { outcome with elapsed_s = Deadline.now () -. t0 } in
@@ -45,47 +83,67 @@ let run_d (mapper : t) ?(seed = 42) ~deadline:dl (p : Problem.t) =
     finish
       (no_mapping ~attempts:0 ~elapsed_s:0.0
          ~note:"unmappable: some operation has no capable, non-faulted PE" ())
-  else begin
-    let outcome = mapper.map p rng dl in
-    match outcome.mapping with
-    | None -> finish outcome
-    | Some m -> (
-        match Check.validate p m with
-        | [] -> finish outcome
-        | violations ->
-            finish
-              {
-                mapping = None;
-                proven_optimal = false;
-                attempts = outcome.attempts;
-                elapsed_s = 0.0;
-                note =
-                  Printf.sprintf "INVALID mapping produced by %s: %s" mapper.name
-                    (String.concat " | " violations);
-              })
-  end
+  else
+    Obs.span obs ~cat:"mapper" ("map:" ^ mapper.name) (fun () ->
+        Obs.incr obs "mapper.runs";
+        let outcome = mapper.map p rng dl obs in
+        match outcome.mapping with
+        | None -> finish outcome
+        | Some m -> (
+            match Obs.span obs ~cat:"mapper" "validate" (fun () -> Check.validate p m) with
+            | [] -> finish outcome
+            | violations ->
+                Obs.incr obs "mapper.invalid";
+                finish
+                  {
+                    mapping = None;
+                    proven_optimal = false;
+                    attempts = outcome.attempts;
+                    elapsed_s = 0.0;
+                    note =
+                      Printf.sprintf "INVALID mapping produced by %s: %s" mapper.name
+                        (String.concat " | " violations);
+                    trail = [];
+                  }))
 
-let run (mapper : t) ?seed ?deadline_s (p : Problem.t) =
-  run_d mapper ?seed ~deadline:(Deadline.of_seconds deadline_s) p
+let run (mapper : t) ?seed ?deadline_s ?obs (p : Problem.t) =
+  run_d mapper ?seed ?obs ~deadline:(Deadline.of_seconds deadline_s) p
 
 (* Deadline-bounded, retrying, fallback-chained mapping: the harness a
    mapping service runs instead of a bare [run].  Tier i of an n-tier
    chain receives an equal share of the remaining wall clock
    (remaining / tiers-left), so an exact front tier cannot starve the
    heuristic safety net; each tier is retried with varied seeds; the
-   note records which tier answered and why earlier tiers did not. *)
+   note records which tier answered and why earlier tiers did not, and
+   [trail] carries the same story as structured per-try records. *)
 module Harness = struct
-  let run ?(seed = 42) ?deadline_s ?(retries = 2) (chain : t list) (p : Problem.t) =
+  (* Classify a non-winning try.  Validation failures keep their
+     INVALID marker; otherwise blame the stop signal that was up when
+     the tier returned empty-handed, defaulting to a plain failure. *)
+  let losing_verdict ~deadline:dl (o : outcome) =
+    match o.mapping with
+    | Some _ -> Mapped_lost
+    | None ->
+        if is_invalid_note o.note then Failed
+        else if Deadline.cancelled dl then Cancelled
+        else if Deadline.expired dl then Expired
+        else Failed
+
+  let run ?(seed = 42) ?deadline_s ?(retries = 2) ?(obs = Obs.off) (chain : t list)
+      (p : Problem.t) =
     if chain = [] then invalid_arg "Mapper.Harness.run: empty fallback chain";
     let dl = Deadline.of_seconds deadline_s in
     let t0 = Deadline.now () in
     let n = List.length chain in
     let total_attempts = ref 0 in
-    let trail = Buffer.create 64 in
-    let record_failure (m : t) ~try_no note =
-      Buffer.add_string trail
-        (Printf.sprintf "%s[try %d]: %s; " m.name (try_no + 1)
-           (if note = "" then "no mapping" else note))
+    let reports = ref [] in
+    let record r = reports := r :: !reports in
+    let trail () = List.rev !reports in
+    let failures () =
+      String.concat "; "
+        (List.filter_map
+           (fun r -> if r.verdict = Won then None else Some (report_to_string r))
+           (trail ()))
     in
     let rec tiers idx = function
       | [] ->
@@ -94,7 +152,8 @@ module Harness = struct
             proven_optimal = false;
             attempts = !total_attempts;
             elapsed_s = Deadline.now () -. t0;
-            note = Printf.sprintf "no tier answered: %s" (Buffer.contents trail);
+            note = Printf.sprintf "no tier answered: %s" (failures ());
+            trail = trail ();
           }
       | m :: rest ->
           let tiers_left = n - idx in
@@ -115,17 +174,42 @@ module Harness = struct
                       (Deadline.after ~seconds:(max 0.05 (r /. float_of_int tiers_left)))
                       (fun () -> Deadline.cancelled dl)
               in
-              let o = run_d m ~seed:(seed + (try_no * 7919)) ~deadline:sub p in
+              let t1 = Deadline.now () in
+              let o =
+                Obs.span obs ~cat:"harness"
+                  (Printf.sprintf "tier:%s#%d" m.name (try_no + 1))
+                  (fun () -> run_d m ~seed:(seed + (try_no * 7919)) ~obs ~deadline:sub p)
+              in
+              let took_s = Deadline.now () -. t1 in
               total_attempts := !total_attempts + max 1 o.attempts;
               match o.mapping with
-              | Some _ -> Some o
+              | Some _ ->
+                  record
+                    {
+                      tier = m.name;
+                      try_no;
+                      verdict = Won;
+                      took_s;
+                      detail = o.note;
+                      counters = [];
+                    };
+                  Some o
               | None ->
-                  record_failure m ~try_no o.note;
+                  record
+                    {
+                      tier = m.name;
+                      try_no;
+                      verdict = losing_verdict ~deadline:sub o;
+                      took_s;
+                      detail = o.note;
+                      counters = [];
+                    };
                   attempt (try_no + 1)
             end
           in
           (match attempt 0 with
           | Some o ->
+              let earlier = failures () in
               {
                 o with
                 attempts = !total_attempts;
@@ -133,8 +217,8 @@ module Harness = struct
                 note =
                   Printf.sprintf "answered by tier %d/%d (%s)%s%s" (idx + 1) n m.name
                     (if o.note = "" then "" else ": " ^ o.note)
-                    (if Buffer.length trail = 0 then ""
-                     else " | earlier tiers: " ^ Buffer.contents trail);
+                    (if earlier = "" then "" else " | earlier tiers: " ^ earlier);
+                trail = trail ();
               }
           | None -> tiers (idx + 1) rest)
     in
@@ -146,17 +230,20 @@ module Harness = struct
      the shared deadline with [Deadline.with_cancel], so it reaches
      every engine through the [should_stop] checkpoints they already
      poll — losers return their best partial answer rather than being
-     killed, which is what lets the outcome note carry the loser
-     trail.  Exact and heuristic mappers have wildly different latency
-     profiles per kernel (Walter et al.), so the race's answer time is
-     min over tiers, never worse than the sequential chain up to one
-     poll interval.  On one worker (or a single tier) this degrades to
-     the sequential chain with one try per tier. *)
-  let race ?(seed = 42) ?deadline_s ?workers (chain : t list) (p : Problem.t) =
+     killed, which is what lets the outcome carry a full loser trail.
+     Each tier maps into a forked metrics sink, so its counters are
+     attributed in its [tier_report] and then folded back into the
+     caller's.  Exact and heuristic mappers have wildly different
+     latency profiles per kernel (Walter et al.), so the race's answer
+     time is min over tiers, never worse than the sequential chain up
+     to one poll interval.  On one worker (or a single tier) this
+     degrades to the sequential chain with one try per tier. *)
+  let race ?(seed = 42) ?deadline_s ?workers ?(obs = Obs.off) (chain : t list) (p : Problem.t)
+      =
     if chain = [] then invalid_arg "Mapper.Harness.race: empty fallback chain";
     let n = List.length chain in
     let w = Ocgra_par.Pool.resolve workers n in
-    if w <= 1 || n = 1 then run ~seed ?deadline_s ~retries:1 chain p
+    if w <= 1 || n = 1 then run ~seed ?deadline_s ~retries:1 ~obs chain p
     else begin
       let t0 = Deadline.now () in
       let cancel = Ocgra_par.Cancel.create () in
@@ -164,22 +251,44 @@ module Harness = struct
         Deadline.with_cancel (Deadline.of_seconds deadline_s) (Ocgra_par.Cancel.hook cancel)
       in
       let tiers = Array.of_list chain in
-      let thunks = Array.map (fun m () -> run_d m ~seed ~deadline:dl p) tiers in
-      let outcomes, winner =
-        Ocgra_par.Race.run ~workers:w ~cancel
-          ~accept:(fun o -> o.mapping <> None)
+      let forks = Array.map (fun _ -> Obs.fork obs) tiers in
+      let thunks =
+        Array.mapi
+          (fun i m () ->
+            let t1 = Deadline.now () in
+            let o =
+              Obs.span forks.(i) ~cat:"harness"
+                (Printf.sprintf "tier:%s#1" m.name)
+                (fun () -> run_d m ~seed ~obs:forks.(i) ~deadline:dl p)
+            in
+            (o, Deadline.now () -. t1))
+          tiers
+      in
+      let results, winner =
+        Ocgra_par.Race.run ~workers:w ~obs ~cancel
+          ~accept:(fun (o, _) -> o.mapping <> None)
           thunks
       in
+      Array.iter (fun f -> Obs.absorb ~into:obs f) forks;
+      let outcomes = Array.map fst results in
       let attempts = Array.fold_left (fun acc o -> acc + max 1 o.attempts) 0 outcomes in
       let elapsed_s = Deadline.now () -. t0 in
-      let trail_of i =
-        let o = outcomes.(i) in
-        Printf.sprintf "%s: %s" tiers.(i).name
-          (match o.mapping with
-          | Some _ -> "also mapped (lost the race)"
-          | None -> if o.note = "" then "no mapping" else o.note)
+      let report i =
+        let o, took_s = results.(i) in
+        {
+          tier = tiers.(i).name;
+          try_no = 0;
+          verdict = (if winner = Some i then Won else losing_verdict ~deadline:dl o);
+          took_s;
+          detail = o.note;
+          counters = Ocgra_obs.Metrics.dump (Obs.metrics forks.(i));
+        }
       in
-      let others i = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+      let trail = List.init n report in
+      let losers i =
+        String.concat "; "
+          (List.map report_to_string (List.filteri (fun j _ -> j <> i) trail))
+      in
       match winner with
       | Some i ->
           let o = outcomes.(i) in
@@ -190,7 +299,8 @@ module Harness = struct
             note =
               Printf.sprintf "race won by tier %d/%d (%s)%s | %s" (i + 1) n tiers.(i).name
                 (if o.note = "" then "" else ": " ^ o.note)
-                (String.concat "; " (List.map trail_of (others i)));
+                (losers i);
+            trail;
           }
       | None ->
           {
@@ -200,7 +310,8 @@ module Harness = struct
             elapsed_s;
             note =
               Printf.sprintf "no tier won the race: %s"
-                (String.concat "; " (List.map trail_of (List.init n Fun.id)));
+                (String.concat "; " (List.map report_to_string trail));
+            trail;
           }
     end
 end

@@ -1,12 +1,37 @@
 (** The common mapper interface: every technique in the framework —
     one per Table I cell — is a value of {!t}. *)
 
+(** What happened to one harness tier try.  [Failed] covers both
+    "technique gave up" and "produced an invalid mapping" (the latter
+    carries the validator's INVALID note in [detail]); [Cancelled]
+    means a sibling won the race first; [Expired] that the tier's
+    wall-clock share ran out. *)
+type verdict = Won | Mapped_lost | Failed | Cancelled | Expired
+
+val verdict_to_string : verdict -> string
+
+type tier_report = {
+  tier : string;  (** mapper name *)
+  try_no : int;  (** 0-based retry index *)
+  verdict : verdict;
+  took_s : float;  (** wall clock this try consumed *)
+  detail : string;  (** the tier's own outcome note *)
+  counters : (string * int) list;
+      (** engine counters attributed to this tier (racing only; [[]]
+          elsewhere, and for races run without a live metrics sink) *)
+}
+
+val report_to_string : tier_report -> string
+
 type outcome = {
   mapping : Mapping.t option;
   proven_optimal : bool;  (** the II was certified minimal within budget *)
   attempts : int;  (** IIs tried, restarts, ... (method-specific) *)
   elapsed_s : float;
   note : string;
+  trail : tier_report list;
+      (** one record per tier try, in execution (chain) order — [[]]
+          outside the harness *)
 }
 
 type t = {
@@ -14,9 +39,11 @@ type t = {
   citation : string;  (** representative papers from the survey *)
   scope : Taxonomy.scope;
   approach : Taxonomy.approach;
-  map : Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> outcome;
+  map : Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> Ocgra_obs.Ctx.t -> outcome;
       (** techniques poll the {!Deadline.t} at their checkpoints and
-          return their best partial answer when it expires *)
+          return their best partial answer when it expires; they record
+          spans and flush engine counters into the context (which
+          defaults to the one-branch no-op [Ctx.off]) *)
 }
 
 val make :
@@ -24,7 +51,7 @@ val make :
   citation:string ->
   scope:Taxonomy.scope ->
   approach:Taxonomy.approach ->
-  (Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> outcome) ->
+  (Problem.t -> Ocgra_util.Rng.t -> Deadline.t -> Ocgra_obs.Ctx.t -> outcome) ->
   t
 
 val no_mapping : ?note:string -> attempts:int -> elapsed_s:float -> unit -> outcome
@@ -35,13 +62,16 @@ val no_mapping : ?note:string -> attempts:int -> elapsed_s:float -> unit -> outc
     including on a degraded array, whose fault constraints the
     validator enforces.  [elapsed_s] is measured here on the wall
     clock; the technique's self-reported value is ignored.
-    [?deadline_s] bounds the run in wall-clock seconds. *)
-val run : t -> ?seed:int -> ?deadline_s:float -> Problem.t -> outcome
+    [?deadline_s] bounds the run in wall-clock seconds; [?obs] (default
+    off) receives a [map:<name>] span, a [validate] sub-span and the
+    technique's own spans and counters. *)
+val run : t -> ?seed:int -> ?deadline_s:float -> ?obs:Ocgra_obs.Ctx.t -> Problem.t -> outcome
 
 (** Like {!run}, but with a caller-built {!Deadline.t} — the hook for
     composed stop signals (a shared budget plus a race-cancellation
     flag attached with {!Deadline.with_cancel}). *)
-val run_d : t -> ?seed:int -> deadline:Deadline.t -> Problem.t -> outcome
+val run_d :
+  t -> ?seed:int -> ?obs:Ocgra_obs.Ctx.t -> deadline:Deadline.t -> Problem.t -> outcome
 
 (** Deadline-bounded, retrying, fallback-chained mapping. *)
 module Harness : sig
@@ -49,10 +79,17 @@ module Harness : sig
       {!Mapper.run}, so every answer is validated), giving tier i an
       equal share of the remaining wall clock and up to [retries]
       seed-varied tries, and returns the first success.  The outcome
-      [note] records which tier answered and why earlier tiers failed;
-      when no tier answers, the failure note carries the whole trail.
-      Raises [Invalid_argument] on an empty chain. *)
-  val run : ?seed:int -> ?deadline_s:float -> ?retries:int -> t list -> Problem.t -> outcome
+      [trail] carries one {!tier_report} per try; [note] renders the
+      same story as text.  Raises [Invalid_argument] on an empty
+      chain. *)
+  val run :
+    ?seed:int ->
+    ?deadline_s:float ->
+    ?retries:int ->
+    ?obs:Ocgra_obs.Ctx.t ->
+    t list ->
+    Problem.t ->
+    outcome
 
   (** [race chain p] runs every tier of [chain] concurrently on up to
       [workers] domains (default {!Ocgra_par.Pool.default_workers}),
@@ -60,11 +97,22 @@ module Harness : sig
       success wins and cancels the rest through the stop signal every
       engine already polls, so the answer arrives in min-over-tiers
       time instead of the chain's sum.  Losers are never killed: they
-      observe cancellation, return, and their failure notes form the
-      loser trail in the outcome [note].  With one worker or a single
-      tier this degrades to the sequential {!run} with [retries = 1].
-      Which tier wins a close race is timing-dependent, but the result
-      is always a validated mapping (or a failure carrying the whole
-      trail).  Raises [Invalid_argument] on an empty chain. *)
-  val race : ?seed:int -> ?deadline_s:float -> ?workers:int -> t list -> Problem.t -> outcome
+      observe cancellation, return, and land in the outcome [trail]
+      with their verdict ({!Mapped_lost}, {!Cancelled}, {!Expired} or
+      {!Failed}), elapsed time, and — when a live metrics sink is
+      passed — the engine counters attributed to that tier (each tier
+      maps into an {!Ocgra_obs.Ctx.fork}, folded back afterwards).
+      With one worker or a single tier this degrades to the sequential
+      {!run} with [retries = 1].  Which tier wins a close race is
+      timing-dependent, but the result is always a validated mapping
+      (or a failure carrying the whole trail).  Raises
+      [Invalid_argument] on an empty chain. *)
+  val race :
+    ?seed:int ->
+    ?deadline_s:float ->
+    ?workers:int ->
+    ?obs:Ocgra_obs.Ctx.t ->
+    t list ->
+    Problem.t ->
+    outcome
 end

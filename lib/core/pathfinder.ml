@@ -23,7 +23,8 @@ type prices = {
 let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
 let bump tbl key by = Hashtbl.replace tbl key (get tbl key + by)
 
-let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
+let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * int) array)
+    ~max_iters =
   let cgra = p.cgra in
   let edges = Array.of_list (Dfg.edges p.dfg) in
   let slot time = ((time mod ii) + ii) mod ii in
@@ -101,6 +102,7 @@ let route_all (p : Problem.t) ~ii (binding : (int * int) array) ~max_iters =
     if iter >= max_iters then None
     else begin
       (* rip up and re-route every edge under current prices *)
+      Ocgra_obs.Ctx.incr obs "pathfinder.iterations";
       let ok = ref true in
       Array.iteri
         (fun e _ ->

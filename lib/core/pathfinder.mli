@@ -6,6 +6,13 @@
 (** [route_all p ~ii binding ~max_iters] returns a checker-valid full
     mapping, or [None] when an edge is unroutable or negotiation does
     not converge within the budget.  Node placement legality is the
-    caller's responsibility (see [Ocgra_mappers.Finalize]). *)
+    caller's responsibility (see [Ocgra_mappers.Finalize]).  Each
+    rip-up-and-reroute round bumps the [pathfinder.iterations] counter
+    of [?obs]. *)
 val route_all :
-  Problem.t -> ii:int -> (int * int) array -> max_iters:int -> Mapping.t option
+  ?obs:Ocgra_obs.Ctx.t ->
+  Problem.t ->
+  ii:int ->
+  (int * int) array ->
+  max_iters:int ->
+  Mapping.t option

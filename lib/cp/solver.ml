@@ -57,6 +57,7 @@ type t = {
   queue : Q.t;
   mutable failures : int;
   mutable decisions : int;
+  mutable propagations : int;
 }
 
 and constr = {
@@ -76,6 +77,7 @@ let create () =
     queue = Q.create ();
     failures = 0;
     decisions = 0;
+    propagations = 0;
   }
 
 let n_vars t = t.nvars
@@ -294,6 +296,7 @@ let propagate_all t =
     match Q.pop t.queue with
     | None -> true
     | Some ci ->
+        t.propagations <- t.propagations + 1;
         if t.constraints.(ci).propagate t then drain ()
         else begin
           Q.clear t.queue;
@@ -420,7 +423,7 @@ let minimize ?(max_failures = max_int) ?(should_stop = fun () -> false) t obj =
   done;
   !best
 
-let stats t = (t.failures, t.decisions)
+let stats t = (t.failures, t.decisions, t.propagations)
 
 let describe_constraints t =
   List.init t.n_constraints (fun i -> t.constraints.(i).describe)

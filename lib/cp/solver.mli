@@ -61,7 +61,8 @@ val count_solutions : ?limit:int -> t -> int
 val minimize :
   ?max_failures:int -> ?should_stop:(unit -> bool) -> t -> var -> (int * int array) option
 
-(** (failures, decisions) since creation. *)
-val stats : t -> int * int
+(** (failures, decisions, propagations) since creation — a
+    propagation is one constraint popped off the queue and filtered. *)
+val stats : t -> int * int * int
 
 val describe_constraints : t -> string list

@@ -24,7 +24,12 @@ type outcome =
   | Unbounded
   | Limit (* budget hit, no incumbent *)
 
-type stats = { mutable nodes : int; mutable lp_solves : int }
+type stats = {
+  mutable nodes : int;
+  mutable lp_solves : int;
+  mutable pruned : int; (* nodes whose relaxation was dominated by the incumbent *)
+  mutable improved : int; (* incumbent replacements (bound improvements) *)
+}
 
 let int_tol = 1e-6
 
@@ -32,7 +37,7 @@ let is_integral x = Float.abs (x -. Float.round x) < int_tol
 
 let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) =
   if Array.length p.kinds <> p.lp.n then invalid_arg "Ilp.solve: kinds length mismatch";
-  let stats = { nodes = 0; lp_solves = 0 } in
+  let stats = { nodes = 0; lp_solves = 0; pruned = 0; improved = 0 } in
   let incumbent = ref None in
   let budget_hit = ref false in
   let better value =
@@ -60,7 +65,8 @@ let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) 
             | Some (best, _) ->
                 if p.lp.maximize then value <= best +. int_tol else value >= best -. int_tol
           in
-          if not dominated then begin
+          if dominated then stats.pruned <- stats.pruned + 1
+          else begin
             (* find most fractional integer variable *)
             let frac_var = ref (-1) and frac_dist = ref 0.0 in
             Array.iteri
@@ -76,7 +82,10 @@ let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) 
               p.kinds;
             if !frac_var < 0 then begin
               (* integral: new incumbent *)
-              if better value then incumbent := Some (value, Array.copy solution)
+              if better value then begin
+                stats.improved <- stats.improved + 1;
+                incumbent := Some (value, Array.copy solution)
+              end
             end
             else begin
               let j = !frac_var in

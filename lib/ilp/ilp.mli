@@ -22,7 +22,12 @@ type outcome =
   | Unbounded
   | Limit  (** budget hit, no incumbent *)
 
-type stats = { mutable nodes : int; mutable lp_solves : int }
+type stats = {
+  mutable nodes : int;
+  mutable lp_solves : int;
+  mutable pruned : int;  (** nodes dominated by the incumbent's bound *)
+  mutable improved : int;  (** incumbent replacements (bound improvements) *)
+}
 
 (** [should_stop] is polled once per branch-and-bound node (each node
     already pays an LP solve, so the hook is off the hot path). *)

@@ -18,12 +18,14 @@ val attempt :
     expanded search node).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per candidate II and the total
+    expanded-node tally ([bb.expanded]). *)
 val map :
   ?beam:int ->
   ?max_nodes:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

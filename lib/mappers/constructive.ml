@@ -97,10 +97,12 @@ let attempt (p : Problem.t) rng ~ii ~time_slack =
 (* Map at the smallest feasible II with random restarts.  The deadline
    is polled between attempts (each attempt is short), so an expired
    budget surfaces as a clean failure. *)
-let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let attempts = ref 0 in
-  match p.kind with
+  let result =
+    match p.kind with
   | Problem.Spatial ->
       let rec go r =
         if r >= restarts || Deadline.expired dl then None
@@ -133,3 +135,6 @@ let map ?(restarts = 8) ?(time_slack = 6) ?deadline_s ?(deadline = Deadline.none
       in
       let m, at_mii = over_ii (max 1 mii) in
       (m, !attempts, at_mii)
+  in
+  Ocgra_obs.Ctx.add obs "constructive.attempts" !attempts;
+  result

@@ -24,12 +24,14 @@ val attempt :
     the run in wall-clock seconds (polled between attempts).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] receives the total placement-attempt count
+    ([constructive.attempts]). *)
 val map :
   ?restarts:int ->
   ?time_slack:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

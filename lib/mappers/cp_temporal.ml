@@ -20,7 +20,15 @@ open Ocgra_core
 module Cp = Ocgra_cp.Solver
 module Rng = Ocgra_util.Rng
 
-let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop =
+(* Flush the solver's native tallies after each search; the
+   propagation queue itself stays instrumentation-free. *)
+let flush_stats obs cp =
+  let failures, decisions, propagations = Cp.stats cp in
+  Ocgra_obs.Ctx.add obs "cp.failures" failures;
+  Ocgra_obs.Ctx.add obs "cp.decisions" decisions;
+  Ocgra_obs.Ctx.add obs "cp.propagations" propagations
+
+let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop ~obs =
   let dfg = p.dfg and cgra = p.cgra in
   let npe = Ocgra_arch.Cgra.pe_count cgra in
   let n = Dfg.node_count dfg in
@@ -110,18 +118,21 @@ let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop =
         let scored = List.map (fun x -> (((x + v) * 2654435761) lxor salt) land 0xFFFF, x) values in
         List.map snd (List.sort compare scored)
       in
-      match Cp.solve ~max_failures ~should_stop ~value_order cp with
+      let sol = Cp.solve ~max_failures ~should_stop ~value_order cp in
+      flush_stats obs cp;
+      match sol with
       | None -> None (* propagation-complete failure: infeasible at this II/horizon *)
       | Some sol ->
           let binding = Array.init n (fun v -> (sol.(place.(v)), sol.(time.(v)))) in
-          (match Finalize.of_binding p ~ii binding with
+          (match Finalize.of_binding ~obs p ~ii binding with
           | Some m -> Some m
           | None -> retry (k - 1))
     end
   in
   retry routing_retries
 
-let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
@@ -133,7 +144,10 @@ let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s ?(deadline =
         if ii > max_ii || Deadline.expired dl then (None, false)
         else begin
           incr attempts;
-          match try_ii p rng ~ii ~max_failures ~routing_retries ~should_stop with
+          match
+            Ocgra_obs.Ctx.span obs ~cat:"cp" (Printf.sprintf "cp:ii=%d" ii) (fun () ->
+                try_ii p rng ~ii ~max_failures ~routing_retries ~should_stop ~obs)
+          with
           | Some m -> (Some m, ii = mii)
           | None -> over_ii (ii + 1)
         end
@@ -144,12 +158,13 @@ let map ?(max_failures = 15_000) ?(routing_retries = 5) ?deadline_s ?(deadline =
 let mapper =
   Mapper.make ~name:"cp" ~citation:"Raffin et al. [43]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_cp
-    (fun p rng dl ->
-      let m, attempts, proven = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts, proven = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "CSP binding+scheduling, lazy strict routing";
+        trail = [];
       })

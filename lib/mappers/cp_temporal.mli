@@ -8,12 +8,14 @@
     the run in wall-clock seconds (threaded into the CP search).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per candidate II and flushes the
+    solver's failure/decision/propagation tallies ([cp.failures], ...). *)
 val map :
   ?max_failures:int ->
   ?routing_retries:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

@@ -9,11 +9,13 @@ val attempt :
     the run in wall-clock seconds (checked between restarts).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per candidate-II attempt and the
+    total attempt tally ([ems.attempts]). *)
 val map :
   ?restarts:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

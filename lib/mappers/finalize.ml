@@ -26,7 +26,7 @@ let binding_legal (p : Problem.t) ~ii (binding : (int * int) array) =
     binding;
   !ok
 
-let of_binding ?(negotiate = true) (p : Problem.t) ~ii (binding : (int * int) array) =
+let of_binding ?(negotiate = true) ?obs (p : Problem.t) ~ii (binding : (int * int) array) =
   let state = Place_route.create p ~ii in
   let order =
     match Ocgra_graph.Topo.sort (Ocgra_dfg.Dfg.to_digraph p.dfg) with
@@ -45,5 +45,5 @@ let of_binding ?(negotiate = true) (p : Problem.t) ~ii (binding : (int * int) ar
   | _ ->
       (* sequential strict routing failed: negotiate all routes at once *)
       if negotiate && binding_legal p ~ii binding then
-        Pathfinder.route_all p ~ii binding ~max_iters:12
+        Pathfinder.route_all ?obs p ~ii binding ~max_iters:12
       else None

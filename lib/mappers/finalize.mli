@@ -10,6 +10,7 @@ val binding_legal : Ocgra_core.Problem.t -> ii:int -> (int * int) array -> bool
     passes the independent checker. *)
 val of_binding :
   ?negotiate:bool ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   ii:int ->
   (int * int) array ->

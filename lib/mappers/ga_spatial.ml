@@ -4,8 +4,8 @@
 
 open Ocgra_core
 
-let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t)
-    rng =
+let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let attempts = ref 0 in
@@ -13,13 +13,15 @@ let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s
     if k <= 0 || Deadline.expired dl then None
     else begin
       incr attempts;
-      let best, _fit, _stats =
-        Ocgra_meta.Ga.run ~config rng
-          ~init:(fun rng -> Spatial_common.random_genome p rng)
-          ~crossover:Spatial_common.crossover
-          ~mutate:(fun rng g -> Spatial_common.mutate p rng g)
-          ~fitness:(fun g -> -.float_of_int (Spatial_common.genome_cost p hop_table g))
+      let best, _fit, (stats : Ocgra_meta.Ga.stats) =
+        Ocgra_obs.Ctx.span obs ~cat:"ga" "genmap:evolve" (fun () ->
+            Ocgra_meta.Ga.run ~config rng
+              ~init:(fun rng -> Spatial_common.random_genome p rng)
+              ~crossover:Spatial_common.crossover
+              ~mutate:(fun rng g -> Spatial_common.mutate p rng g)
+              ~fitness:(fun g -> -.float_of_int (Spatial_common.genome_cost p hop_table g)))
       in
+      Ocgra_obs.Ctx.add obs "ga.evaluations" stats.evaluations;
       match Spatial_common.extract p best with
       | Some m -> Some m
       | None -> go (k - 1)
@@ -30,12 +32,13 @@ let map ?(config = Ocgra_meta.Ga.default_config) ?(extractions = 10) ?deadline_s
 let mapper =
   Mapper.make ~name:"genmap-ga" ~citation:"Kojima et al. GenMap [19]"
     ~scope:Taxonomy.Spatial_mapping ~approach:(Taxonomy.Meta_population "GA")
-    (fun p rng dl ->
-      let m, attempts = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;
         attempts;
         elapsed_s = 0.0;
         note = "evolved placement + strict pipeline routing";
+        trail = [];
       })

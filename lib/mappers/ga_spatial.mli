@@ -4,12 +4,14 @@
     seconds (checked between extractions).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per evolution run and flushes the
+    GA core's tally ([ga.evaluations]). *)
 val map :
   ?config:Ocgra_meta.Ga.config ->
   ?extractions:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

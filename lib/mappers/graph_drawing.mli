@@ -14,11 +14,13 @@ val snap : Ocgra_core.Problem.t -> float array * float array -> int array option
     seconds (checked between restarts).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per layout and counts restarts
+    ([graph_drawing.restarts]). *)
 val map :
   ?restarts:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

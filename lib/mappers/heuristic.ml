@@ -15,13 +15,13 @@ let modulo_mapper =
   Mapper.make ~name:"modulo-greedy"
     ~citation:"Bondalapati & Prasanna [12]; Mei et al. [61]; Zhao et al. [36]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
+    (fun p rng dl obs ->
       match p.kind with
       | Problem.Spatial ->
           Mapper.no_mapping ~note:"temporal mapper on spatial problem" ~attempts:0 ~elapsed_s:0.0 ()
       | Problem.Temporal _ ->
           let m, attempts, proven =
-            Constructive.map ~restarts:16 ~deadline:dl p rng
+            Constructive.map ~restarts:16 ~deadline:dl ~obs p rng
           in
           {
             Mapper.mapping = m;
@@ -29,14 +29,15 @@ let modulo_mapper =
             attempts;
             elapsed_s = 0.0;
             note = "iterative modulo scheduling + greedy place-and-route";
+            trail = [];
           })
 
 let greedy_spatial_mapper =
   Mapper.make ~name:"greedy-spatial" ~citation:"Yoon et al. [23] (baseline); ChordMap [31]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
+    (fun p rng dl obs ->
       let m, attempts, _ =
-        Constructive.map ~restarts:24 ~deadline:dl p rng
+        Constructive.map ~restarts:24 ~deadline:dl ~obs p rng
       in
       {
         Mapper.mapping = m;
@@ -44,14 +45,15 @@ let greedy_spatial_mapper =
         attempts;
         elapsed_s = 0.0;
         note = "topological greedy placement + strict routing at II = 1";
+        trail = [];
       })
 
 let constructive_mapper =
   Mapper.make ~name:"constructive" ~citation:"iterative modulo scheduling lineage [12]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
+    (fun p rng dl obs ->
       let m, attempts, proven =
-        Constructive.map ~restarts:32 ~time_slack:8 ~deadline:dl p rng
+        Constructive.map ~restarts:32 ~time_slack:8 ~deadline:dl ~obs p rng
       in
       {
         Mapper.mapping = m;
@@ -59,4 +61,5 @@ let constructive_mapper =
         attempts;
         elapsed_s = 0.0;
         note = "constructive greedy place-and-route (fallback tier)";
+        trail = [];
       })

@@ -28,13 +28,21 @@ let bounded ~seconds should_stop =
   let dl = Deadline.after ~seconds in
   fun () -> should_stop () || Deadline.expired dl
 
+(* Flush the B&B core's tallies after each solve; the node loop itself
+   stays instrumentation-free. *)
+let flush_stats obs (s : Ocgra_ilp.Ilp.stats) =
+  Ocgra_obs.Ctx.add obs "ilp.nodes" s.nodes;
+  Ocgra_obs.Ctx.add obs "ilp.lp_solves" s.lp_solves;
+  Ocgra_obs.Ctx.add obs "ilp.pruned" s.pruned;
+  Ocgra_obs.Ctx.add obs "ilp.improved" s.improved
+
 let capable (p : Problem.t) v =
   let npe = Ocgra_arch.Cgra.pe_count p.cgra in
   List.filter (fun pe -> Ocgra_arch.Cgra.supports p.cgra pe (Dfg.op p.dfg v)) (List.init npe Fun.id)
 
 (* ---------- spatial ---------- *)
 
-let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
+let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop ~obs =
   let n = Dfg.node_count p.dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let m = Model.create ~maximize:false () in
@@ -76,8 +84,12 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
            List.map (fun (_, x) -> (float_of_int (Rng.int rng jitter) /. 100.0, x)) ws)
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:500 ~should_stop:(bounded ~seconds:1.5 should_stop) m with
-  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+  let outcome, values, stats =
+    Model.solve ~max_nodes:500 ~should_stop:(bounded ~seconds:1.5 should_stop) m
+  in
+  flush_stats obs stats;
+  match (outcome, values) with
+  | (Model.Optimal _ | Model.Feasible _), Some values ->
       let genome = Array.make n (-1) in
       Array.iteri
         (fun v ws -> List.iter (fun (pe, x) -> if values.(x) = 1 then genome.(v) <- pe) ws)
@@ -85,7 +97,8 @@ let spatial_solve (p : Problem.t) rng ~distance_cap ~jitter ~should_stop =
       if Array.for_all (fun pe -> pe >= 0) genome then Some genome else None
   | _ -> None
 
-let spatial_map ?(retries = 3) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let spatial_map ?(retries = 3) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   let attempts = ref 0 in
@@ -97,9 +110,11 @@ let spatial_map ?(retries = 3) ?deadline_s ?(deadline = Deadline.none) (p : Prob
         else begin
           incr attempts;
           match
-            spatial_solve p rng ~distance_cap:cap
-              ~jitter:(if k = retries then 1 else 50)
-              ~should_stop
+            Ocgra_obs.Ctx.span obs ~cat:"ilp" (Printf.sprintf "ilp-spatial:cap=%d" cap)
+              (fun () ->
+                spatial_solve p rng ~distance_cap:cap
+                  ~jitter:(if k = retries then 1 else 50)
+                  ~should_stop ~obs)
           with
           | None -> None (* infeasible at this cap: escalate *)
           | Some genome -> (
@@ -116,19 +131,20 @@ let spatial_map ?(retries = 3) ?deadline_s ?(deadline = Deadline.none) (p : Prob
 let spatial =
   Mapper.make ~name:"ilp-spatial" ~citation:"Chin & Anderson [34]; Yoon et al. [23]; Nowatzki et al. [35]"
     ~scope:Taxonomy.Spatial_mapping ~approach:Taxonomy.Exact_ilp
-    (fun p rng dl ->
-      let m, attempts = spatial_map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts = spatial_map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;
         attempts;
         elapsed_s = 0.0;
         note = "assignment ILP with distance caps, lazy routing";
+        trail = [];
       })
 
 (* ---------- joint temporal (small arrays) ---------- *)
 
-let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
+let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop ~obs =
   let dfg = p.dfg in
   let n = Dfg.node_count dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
@@ -201,8 +217,12 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
     |> List.map (fun (c, x) -> (c +. (float_of_int (Rng.int rng jitter) /. 100.0), x))
   in
   Model.set_objective m obj;
-  match Model.solve ~max_nodes:600 ~should_stop:(bounded ~seconds:2.0 should_stop) m with
-  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+  let outcome, values, stats =
+    Model.solve ~max_nodes:600 ~should_stop:(bounded ~seconds:2.0 should_stop) m
+  in
+  flush_stats obs stats;
+  match (outcome, values) with
+  | (Model.Optimal _ | Model.Feasible _), Some values ->
       let binding = Array.make n (-1, -1) in
       Array.iteri
         (fun v cs -> List.iter (fun (pe, t, x) -> if values.(x) = 1 then binding.(v) <- (pe, t)) cs)
@@ -210,7 +230,8 @@ let temporal_solve (p : Problem.t) rng ~ii ~win ~jitter ~should_stop =
       if Array.for_all (fun (pe, _) -> pe >= 0) binding then Some binding else None
   | _ -> None
 
-let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) ?(deadline = Deadline.none) (p : Problem.t) rng =
+let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
@@ -227,13 +248,15 @@ let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) ?(deadline
             else begin
               incr attempts;
               match
-                temporal_solve p rng ~ii ~win
-                  ~jitter:(if k = retries then 1 else 80)
-                  ~should_stop
+                Ocgra_obs.Ctx.span obs ~cat:"ilp" (Printf.sprintf "ilp-temporal:ii=%d" ii)
+                  (fun () ->
+                    temporal_solve p rng ~ii ~win
+                      ~jitter:(if k = retries then 1 else 80)
+                      ~should_stop ~obs)
               with
               | None -> None
               | Some binding -> (
-                  match Finalize.of_binding p ~ii binding with
+                  match Finalize.of_binding ~obs p ~ii binding with
                   | Some m -> Some m
                   | None -> go (k - 1))
             end
@@ -247,9 +270,9 @@ let temporal_map ?(retries = 2) ?(win_slack = 3) ?(deadline_s = 12.0) ?(deadline
 let temporal =
   Mapper.make ~name:"ilp-temporal" ~citation:"Brenner et al. [41]; Guo et al. [15]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_ilp
-    (fun p rng dl ->
+    (fun p rng dl obs ->
       let m, attempts, proven =
-        temporal_map ~deadline:dl p rng
+        temporal_map ~deadline:dl ~obs p rng
       in
       {
         Mapper.mapping = m;
@@ -257,12 +280,13 @@ let temporal =
         attempts;
         elapsed_s = 0.0;
         note = "time-indexed ILP, nearest-neighbour placement, lazy routing";
+        trail = [];
       })
 
 (* ---------- scheduling-only ---------- *)
 
 (* Re-time a fixed binding with a time-indexed ILP, then route. *)
-let schedule_solve (p : Problem.t) ~ii ~win ~should_stop (pes : int array) =
+let schedule_solve (p : Problem.t) ~ii ~win ~should_stop ~obs (pes : int array) =
   let dfg = p.dfg in
   let n = Dfg.node_count dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
@@ -306,14 +330,19 @@ let schedule_solve (p : Problem.t) ~ii ~win ~should_stop (pes : int array) =
         (float_of_int (lat + needed - (e.dist * ii))))
     (Dfg.edges dfg);
   Model.set_objective m (Array.to_list cands |> List.concat |> List.map (fun (t, x) -> (float_of_int t, x)));
-  match Model.solve ~max_nodes:800 ~should_stop:(bounded ~seconds:2.0 should_stop) m with
-  | (Model.Optimal _ | Model.Feasible _), Some values, _ ->
+  let outcome, values, stats =
+    Model.solve ~max_nodes:800 ~should_stop:(bounded ~seconds:2.0 should_stop) m
+  in
+  flush_stats obs stats;
+  match (outcome, values) with
+  | (Model.Optimal _ | Model.Feasible _), Some values ->
       let times = Array.make n (-1) in
       Array.iteri (fun v cs -> List.iter (fun (t, x) -> if values.(x) = 1 then times.(v) <- t) cs) cands;
       if Array.for_all (fun t -> t >= 0) times then Some times else None
   | _ -> None
 
-let schedule_map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let schedule_map ?deadline_s ?(deadline = Deadline.none) ?(obs = Ocgra_obs.Ctx.off)
+    (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
   match p.kind with
@@ -321,7 +350,7 @@ let schedule_map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
   | Problem.Temporal _ ->
       (* binding skeleton from the constructive heuristic *)
       let attempts = ref 0 in
-      (match Constructive.map ~restarts:8 ~deadline:dl p rng with
+      (match Constructive.map ~restarts:8 ~deadline:dl ~obs p rng with
       | None, a, _ ->
           attempts := a;
           (None, !attempts)
@@ -330,23 +359,28 @@ let schedule_map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
           let ii = base.Mapping.ii in
           let pes = Array.map fst base.Mapping.binding in
           incr attempts;
-          (match schedule_solve p ~ii ~win:(ii + 4) ~should_stop pes with
+          (match
+             Ocgra_obs.Ctx.span obs ~cat:"ilp"
+               (Printf.sprintf "ilp-schedule:ii=%d" ii)
+               (fun () -> schedule_solve p ~ii ~win:(ii + 4) ~should_stop ~obs pes)
+           with
           | None -> (Some base, !attempts) (* keep the heuristic schedule *)
           | Some times ->
               let binding = Array.mapi (fun v t -> (pes.(v), t)) times in
-              (match Finalize.of_binding p ~ii binding with
+              (match Finalize.of_binding ~obs p ~ii binding with
               | Some m -> (Some m, !attempts)
               | None -> (Some base, !attempts))))
 
 let schedule =
   Mapper.make ~name:"ilp-schedule" ~citation:"Guo et al. [15]; Mu et al. [53]"
     ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Exact_ilp
-    (fun p rng dl ->
-      let m, attempts = schedule_map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts = schedule_map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = false;
         attempts;
         elapsed_s = 0.0;
         note = "heuristic binding + time-indexed ILP re-scheduling";
+        trail = [];
       })

@@ -15,12 +15,15 @@ val temporal : Ocgra_core.Mapper.t
 val schedule : Ocgra_core.Mapper.t
 
 (** The underlying map functions, exposed for budget-controlled use by
-    the bench. *)
+    the bench.  [obs] records one span per solve and flushes the B&B
+    core's tallies ([ilp.nodes], [ilp.lp_solves], [ilp.pruned],
+    [ilp.improved]). *)
 
 val spatial_map :
   ?retries:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int
@@ -30,6 +33,7 @@ val temporal_map :
   ?win_slack:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool
@@ -37,6 +41,7 @@ val temporal_map :
 val schedule_map :
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

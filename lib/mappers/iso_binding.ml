@@ -95,7 +95,7 @@ let bind (p : Problem.t) ~ii times =
         Some { Mapping.ii; binding; routes }
   end
 
-let map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let map ?deadline_s ?(deadline = Deadline.none) ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
@@ -109,10 +109,16 @@ let map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
             if r >= 4 || Deadline.expired dl then None
             else begin
               incr attempts;
+              Ocgra_obs.Ctx.incr obs "iso.matches";
               match Sched.modulo_list_schedule p rng ~ii with
               | None -> None
               | Some times -> (
-                  match bind p ~ii times with Some m -> Some m | None -> go (r + 1))
+                  match
+                    Ocgra_obs.Ctx.span obs ~cat:"iso" (Printf.sprintf "iso:ii=%d" ii) (fun () ->
+                        bind p ~ii times)
+                  with
+                  | Some m -> Some m
+                  | None -> go (r + 1))
             end
           in
           match go 0 with Some m -> (Some m, ii = mii) | None -> over_ii (ii + 1)
@@ -124,12 +130,13 @@ let map ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
 let mapper =
   Mapper.make ~name:"iso-binding" ~citation:"Hamzeh et al. EPIMap [28]; Chen & Mitra [27]; Peyret et al. [47]"
     ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
-      let m, attempts, proven = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts, proven = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "route-node insertion + subgraph isomorphism into the modulo TEC";
+        trail = [];
       })

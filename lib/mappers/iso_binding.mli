@@ -12,10 +12,12 @@ val bind : Ocgra_core.Problem.t -> ii:int -> int array -> Ocgra_core.Mapping.t o
     the run in wall-clock seconds (checked between attempts).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per embedding attempt and counts
+    attempts ([iso.matches]). *)
 val map :
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

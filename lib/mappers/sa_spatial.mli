@@ -5,12 +5,14 @@
     seconds (checked between extractions).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per annealing run and flushes the
+    annealer's tallies ([sa.steps], [sa.accepted]). *)
 val map :
   ?config:Ocgra_meta.Sa.config ->
   ?extractions:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int

@@ -76,27 +76,30 @@ let neighbour (p : Problem.t) ~ii ~horizon rng (s : state) =
    end);
   { binding }
 
-let try_ii (p : Problem.t) rng ~ii ~config =
+let try_ii (p : Problem.t) rng ~ii ~config ~obs =
   let horizon = Problem.max_time p in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
   let init = { binding = random_binding p rng ~ii ~horizon } in
-  let best, _best_cost, _stats =
+  let best, _best_cost, (stats : Ocgra_meta.Sa.stats) =
     Ocgra_meta.Sa.run ~config rng ~init
       ~neighbour:(neighbour p ~ii ~horizon)
       ~cost:(cost p hop_table ~ii)
   in
+  Ocgra_obs.Ctx.add obs "sa.steps" stats.steps;
+  Ocgra_obs.Ctx.add obs "sa.accepted" stats.accepted;
   (* strict extraction; also try a few perturbed variants in case the
      annealed optimum is slightly over-subscribed for the real router *)
   let rec attempt_extract k state =
     if k <= 0 then None
     else
-      match Finalize.of_binding p ~ii state.binding with
+      match Finalize.of_binding ~obs p ~ii state.binding with
       | Some m -> Some m
       | None -> attempt_extract (k - 1) (neighbour p ~ii ~horizon rng state)
   in
   attempt_extract 8 best
 
-let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   match p.kind with
   | Problem.Spatial -> invalid_arg "Sa_temporal.map: use Sa_spatial for spatial problems"
@@ -110,7 +113,10 @@ let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s ?(deadline = Deadli
             if k <= 0 || Deadline.expired dl then None
             else begin
               incr attempts;
-              match try_ii p rng ~ii ~config with
+              match
+                Ocgra_obs.Ctx.span obs ~cat:"sa" (Printf.sprintf "sa:ii=%d" ii) (fun () ->
+                    try_ii p rng ~ii ~config ~obs)
+              with
               | Some m -> Some m
               | None -> restarts (k - 1)
             end
@@ -125,12 +131,13 @@ let map ?(config = Ocgra_meta.Sa.default_config) ?deadline_s ?(deadline = Deadli
 let mapper =
   Mapper.make ~name:"dresc-sa" ~citation:"Mei et al. [22]; Hatanaka & Bagherzadeh [30]"
     ~scope:Taxonomy.Temporal_mapping ~approach:(Taxonomy.Meta_local "SA")
-    (fun p rng dl ->
-      let m, attempts, proven = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts, proven = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "simulated annealing over bindings, congestion-priced routing";
+        trail = [];
       })

@@ -8,23 +8,26 @@ type state = { binding : (int * int) array }
 (** The annealing cost (cheap, O(nodes + edges)). *)
 val cost : Ocgra_core.Problem.t -> int array array -> ii:int -> state -> float
 
-(** One annealing run + extraction at a fixed II. *)
+(** One annealing run + extraction at a fixed II.  Flushes the
+    annealer's tallies to [obs] ([sa.steps], [sa.accepted]). *)
 val try_ii :
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   ii:int ->
   config:Ocgra_meta.Sa.config ->
+  obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Mapping.t option
 
 (** (mapping, attempts, proven optimal at MII).  [deadline_s] bounds
     the run in wall-clock seconds (checked between restarts).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per annealing restart. *)
 val map :
   ?config:Ocgra_meta.Sa.config ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool

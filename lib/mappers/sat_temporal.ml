@@ -208,7 +208,16 @@ let extract (p : Problem.t) inst ~ii =
   in
   { Mapping.ii; binding; routes }
 
-let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+(* Flush the solver's native tallies into the metrics sink after a
+   solve; the CDCL hot loop itself stays instrumentation-free. *)
+let flush_stats obs sat =
+  let conflicts, decisions, propagations = Sat.stats sat in
+  Ocgra_obs.Ctx.add obs "sat.conflicts" conflicts;
+  Ocgra_obs.Ctx.add obs "sat.decisions" decisions;
+  Ocgra_obs.Ctx.add obs "sat.propagations" propagations
+
+let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadline.none)
+    ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng =
   ignore rng;
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
@@ -222,15 +231,22 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadlin
         else if Deadline.expired dl then (None, !attempts, false, "deadline")
         else begin
           incr attempts;
-          let inst = build p ~ii ~slack in
-          match Sat.solve ~max_conflicts ~should_stop inst.sat with
-          | Sat.Sat ->
+          let solve () =
+            let inst = build p ~ii ~slack in
+            let verdict = Sat.solve ~max_conflicts ~should_stop inst.sat in
+            flush_stats obs inst.sat;
+            (inst, verdict)
+          in
+          match
+            Ocgra_obs.Ctx.span obs ~cat:"sat" (Printf.sprintf "sat:ii=%d" ii) solve
+          with
+          | inst, Sat.Sat ->
               let m = extract p inst ~ii in
               (* proven optimal when every smaller II was refuted without
                  hitting the conflict budget *)
               (Some m, !attempts, (ii = mii || not budget_hit) && true, "")
-          | Sat.Unsat -> over_ii (ii + 1) budget_hit
-          | Sat.Unknown -> over_ii (ii + 1) true
+          | _, Sat.Unsat -> over_ii (ii + 1) budget_hit
+          | _, Sat.Unknown -> over_ii (ii + 1) true
         end
       in
       over_ii (max 1 mii) false
@@ -238,12 +254,13 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadlin
 let mapper =
   Mapper.make ~name:"sat" ~citation:"Miyasaka et al. [17]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_sat
-    (fun p rng dl ->
-      let m, attempts, proven, note = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts, proven, note = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note;
+        trail = [];
       })

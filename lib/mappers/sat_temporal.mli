@@ -9,12 +9,15 @@
     [should_stop] hook).
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
-    signal. *)
+    signal.  [obs] records one span per candidate II and flushes the
+    solver's conflict/decision/propagation tallies
+    ([sat.conflicts], ...). *)
 val map :
   ?slack:int ->
   ?max_conflicts:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool * string

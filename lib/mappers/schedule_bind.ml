@@ -53,7 +53,8 @@ let greedy_bind (p : Problem.t) rng ~ii times =
   in
   if ok then Place_route.to_mapping state else None
 
-let with_schedule (p : Problem.t) rng ~restarts ~dl bind =
+let with_schedule ?(obs = Ocgra_obs.Ctx.off) ?(tag = "sched-bind") (p : Problem.t) rng ~restarts
+    ~dl bind =
   match p.kind with
   | Problem.Spatial -> (None, 0, false)
   | Problem.Temporal { max_ii; _ } ->
@@ -66,10 +67,16 @@ let with_schedule (p : Problem.t) rng ~restarts ~dl bind =
             if r >= restarts || Deadline.expired dl then None
             else begin
               incr attempts;
+              Ocgra_obs.Ctx.incr obs "sched.attempts";
               match Sched.modulo_list_schedule p rng ~ii with
               | None -> None (* schedule infeasible at this II *)
               | Some times -> (
-                  match bind ~ii times with Some m -> Some m | None -> go (r + 1))
+                  match
+                    Ocgra_obs.Ctx.span obs ~cat:"sched" (Printf.sprintf "%s:ii=%d" tag ii)
+                      (fun () -> bind ~ii times)
+                  with
+                  | Some m -> Some m
+                  | None -> go (r + 1))
             end
           in
           match go 0 with Some m -> (Some m, ii = mii) | None -> over_ii (ii + 1)
@@ -81,19 +88,22 @@ let with_schedule (p : Problem.t) rng ~restarts ~dl bind =
 let list_scheduling =
   Mapper.make ~name:"list-scheduling" ~citation:"Zhao et al. [36]; Das et al. [24]; Bansal et al. [51]"
     ~scope:Taxonomy.Scheduling_only ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
-      let m, attempts, proven = with_schedule p rng ~restarts:10 ~dl (greedy_bind p rng) in
+    (fun p rng dl obs ->
+      let m, attempts, proven =
+        with_schedule ~obs ~tag:"list-sched" p rng ~restarts:10 ~dl (greedy_bind p rng)
+      in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "modulo list scheduling + greedy binding";
+        trail = [];
       })
 
 (* ---------- clique-based binding ---------- *)
 
-let clique_bind (p : Problem.t) ~ii times =
+let clique_bind ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii times =
   let dfg = p.dfg and cgra = p.cgra in
   let n = Dfg.node_count dfg in
   let npe = Ocgra_arch.Cgra.pe_count cgra in
@@ -140,25 +150,28 @@ let clique_bind (p : Problem.t) ~ii times =
         if fst binding.(v) < 0 then binding.(v) <- (pe, times.(v)))
       clique;
     if Array.exists (fun (pe, _) -> pe < 0) binding then None
-    else Finalize.of_binding p ~ii binding
+    else Finalize.of_binding ~obs p ~ii binding
   end
 
 let clique_binding =
   Mapper.make ~name:"clique-binding" ~citation:"Dave et al. RAMP [38]; Hamzeh et al. REGIMap [46]"
     ~scope:Taxonomy.Binding_only ~approach:Taxonomy.Heuristic
-    (fun p rng dl ->
-      let m, attempts, proven = with_schedule p rng ~restarts:4 ~dl (clique_bind p) in
+    (fun p rng dl obs ->
+      let m, attempts, proven =
+        with_schedule ~obs ~tag:"clique" p rng ~restarts:4 ~dl (clique_bind ~obs p)
+      in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "compatibility-graph maximum clique binding";
+        trail = [];
       })
 
 (* ---------- QEA binding ---------- *)
 
-let qea_bind (p : Problem.t) rng ~ii times =
+let qea_bind ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) rng ~ii times =
   let dfg = p.dfg in
   let n = Dfg.node_count dfg in
   let hop_table = Ocgra_arch.Cgra.hop_table p.cgra in
@@ -206,25 +219,29 @@ let qea_bind (p : Problem.t) rng ~ii times =
       (Dfg.edges dfg);
     -.float_of_int ((100 * !collisions) + (10 * !timing))
   in
-  let genome, fit, _evals =
+  let genome, fit, evals =
     Ocgra_meta.Qea.run rng ~n_bits:!total_bits ~fitness ~stop_at:(-0.5)
   in
+  Ocgra_obs.Ctx.add obs "qea.evaluations" evals;
   if fit < -0.5 then None
   else begin
     let pes = decode genome in
     let binding = Array.init n (fun v -> (pes.(v), times.(v))) in
-    Finalize.of_binding p ~ii binding
+    Finalize.of_binding ~obs p ~ii binding
   end
 
 let qea_binding =
   Mapper.make ~name:"qea-binding" ~citation:"Lee et al. [48]"
     ~scope:Taxonomy.Binding_only ~approach:(Taxonomy.Meta_population "QEA")
-    (fun p rng dl ->
-      let m, attempts, proven = with_schedule p rng ~restarts:6 ~dl (qea_bind p rng) in
+    (fun p rng dl obs ->
+      let m, attempts, proven =
+        with_schedule ~obs ~tag:"qea" p rng ~restarts:6 ~dl (qea_bind ~obs p rng)
+      in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "quantum-inspired evolutionary binding on a fixed schedule";
+        trail = [];
       })

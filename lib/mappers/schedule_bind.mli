@@ -13,7 +13,11 @@ val greedy_bind :
 (** Compatibility-graph maximum-clique binding (RAMP [38],
     REGIMap [46]). *)
 val clique_bind :
-  Ocgra_core.Problem.t -> ii:int -> int array -> Ocgra_core.Mapping.t option
+  ?obs:Ocgra_obs.Ctx.t ->
+  Ocgra_core.Problem.t ->
+  ii:int ->
+  int array ->
+  Ocgra_core.Mapping.t option
 
 (** Scheduling x heuristics: list schedule + greedy binding. *)
 val list_scheduling : Ocgra_core.Mapper.t

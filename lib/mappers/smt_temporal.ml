@@ -14,7 +14,14 @@ module Smt = Ocgra_smt.Smt
 module Sat = Ocgra_sat.Solver
 module Enc = Ocgra_sat.Encodings
 
-let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop =
+let flush_stats obs smt =
+  let conflicts, decisions, propagations = Sat.stats (Smt.sat_solver smt) in
+  Ocgra_obs.Ctx.add obs "sat.conflicts" conflicts;
+  Ocgra_obs.Ctx.add obs "sat.decisions" decisions;
+  Ocgra_obs.Ctx.add obs "sat.propagations" propagations;
+  Ocgra_obs.Ctx.add obs "smt.rounds" (Smt.rounds smt)
+
+let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop ~obs =
   let dfg = p.dfg and cgra = p.cgra in
   let npe = Ocgra_arch.Cgra.pe_count cgra in
   let n = Dfg.node_count dfg in
@@ -86,7 +93,7 @@ let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop =
           (* clamp times into [0, horizon): the IDL model is shift-invariant *)
           let tmin = Array.fold_left (fun acc (_, t) -> min acc t) max_int binding in
           let binding = Array.map (fun (pe, t) -> (pe, t - min tmin 0)) binding in
-          (match Finalize.of_binding p ~ii binding with
+          (match Finalize.of_binding ~obs p ~ii binding with
           | Some m -> Some m
           | None ->
               (* block this exact placement and try again *)
@@ -101,9 +108,12 @@ let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop =
               extract_loop (k - 1))
     end
   in
-  extract_loop routing_retries
+  let result = extract_loop routing_retries in
+  flush_stats obs smt;
+  result
 
-let map ?(routing_retries = 6) ?deadline_s ?(deadline = Deadline.none) (p : Problem.t) rng =
+let map ?(routing_retries = 6) ?deadline_s ?(deadline = Deadline.none) ?(obs = Ocgra_obs.Ctx.off)
+    (p : Problem.t) rng =
   ignore rng;
   let dl = Deadline.sooner deadline (Deadline.of_seconds deadline_s) in
   let should_stop = Deadline.should_stop dl in
@@ -119,7 +129,10 @@ let map ?(routing_retries = 6) ?deadline_s ?(deadline = Deadline.none) (p : Prob
           if ii > max_ii || Deadline.expired dl then (None, false)
           else begin
             incr attempts;
-            match try_ii p ~ii ~routing_retries ~should_stop with
+            match
+              Ocgra_obs.Ctx.span obs ~cat:"smt" (Printf.sprintf "smt:ii=%d" ii) (fun () ->
+                  try_ii p ~ii ~routing_retries ~should_stop ~obs)
+            with
             | Some m -> (Some m, ii = mii)
             | None -> over_ii (ii + 1)
           end
@@ -131,12 +144,13 @@ let map ?(routing_retries = 6) ?deadline_s ?(deadline = Deadline.none) (p : Prob
 let mapper =
   Mapper.make ~name:"smt" ~citation:"Donovick et al. [44]"
     ~scope:Taxonomy.Temporal_mapping ~approach:Taxonomy.Exact_smt
-    (fun p rng dl ->
-      let m, attempts, proven = map ~deadline:dl p rng in
+    (fun p rng dl obs ->
+      let m, attempts, proven = map ~deadline:dl ~obs p rng in
       {
         Mapper.mapping = m;
         proven_optimal = proven && m <> None;
         attempts;
         elapsed_s = 0.0;
         note = "difference-logic schedule + propositional placement (restricted routing)";
+        trail = [];
       })

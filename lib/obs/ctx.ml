@@ -1,0 +1,31 @@
+(* The handle the rest of the system threads around: one trace sink
+   plus one metrics sink, either of which may be the no-op.  [off] is
+   the default everywhere an [?obs] parameter is omitted, and both its
+   sinks are disabled, so code instrumented with [span]/[add] pays one
+   branch when nobody is watching. *)
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let off = { trace = Trace.off; metrics = Metrics.off }
+let v ~trace ~metrics = { trace; metrics }
+let create () = { trace = Trace.create (); metrics = Metrics.create () }
+
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let trace t = t.trace
+let metrics t = t.metrics
+
+let span t ?cat ?args name f = Trace.span t.trace ?cat ?args name f
+let add t name n = Metrics.add t.metrics name n
+let incr t name = Metrics.incr t.metrics name
+let set_max t name v = Metrics.set_max t.metrics name v
+
+(* A fork shares the trace (spans interleave on domain lanes anyway)
+   but gets a private metrics sink, so a caller can attribute counter
+   deltas — e.g. per racing tier — and then fold them back. *)
+let fork t =
+  {
+    trace = t.trace;
+    metrics = (if Metrics.enabled t.metrics then Metrics.create () else Metrics.off);
+  }
+
+let absorb ~into src = Metrics.merge ~into:into.metrics src.metrics

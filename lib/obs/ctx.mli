@@ -1,0 +1,32 @@
+(** The observability handle threaded through the mapping stack
+    alongside [Deadline.t]: one {!Trace.t} plus one {!Metrics.t}.
+    Every [?obs] parameter in the system defaults to {!off}, whose
+    sinks are both disabled — instrumented code then pays one branch
+    per site and nothing else. *)
+
+type t
+
+val off : t
+(** Both sinks disabled; the universal default. *)
+
+val create : unit -> t
+(** Both sinks live. *)
+
+val v : trace:Trace.t -> metrics:Metrics.t -> t
+(** Mix live and dead sinks — e.g. [--metrics] without [--trace]. *)
+
+val enabled : t -> bool
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val span : t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+val set_max : t -> string -> int -> unit
+
+val fork : t -> t
+(** Same trace, private metrics sink (dead if the parent's is dead) —
+    for attributing counter deltas to one racing tier. *)
+
+val absorb : into:t -> t -> unit
+(** Fold a fork's metrics back into a parent. *)

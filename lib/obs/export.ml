@@ -1,0 +1,87 @@
+(* Exporters.
+
+   Chrome trace-event JSON: an object with a [traceEvents] array of
+   complete ("ph":"X") events, timestamps in microseconds relative to
+   the trace epoch, one lane per recording domain — load it at
+   chrome://tracing or ui.perfetto.dev.  Events are emitted in the
+   stable {!Trace.spans} order.
+
+   Metrics: either a flat JSON object or [key=value] lines, both in
+   sorted-name order with integer values only, so two runs that did
+   the same work produce byte-identical dumps. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let chrome_trace (t : Trace.t) =
+  let b = Buffer.create 4096 in
+  let epoch = Trace.epoch t in
+  let us s = (s *. 1e6 : float) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i (s : Trace.span) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"name\":";
+      buf_add_json_string b s.name;
+      Buffer.add_string b ",\"cat\":";
+      buf_add_json_string b (if s.cat = "" then "ocgra" else s.cat);
+      Buffer.add_string b
+        (Printf.sprintf ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+           (us (s.ts -. epoch)) (us s.dur) s.tid);
+      (match s.args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              buf_add_json_string b k;
+              Buffer.add_char b ':';
+              buf_add_json_string b v)
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    (Trace.spans t);
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let metrics_json (m : Metrics.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n";
+      buf_add_json_string b name;
+      Buffer.add_string b (Printf.sprintf ": %d" v))
+    (Metrics.dump m);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let metrics_kv (m : Metrics.t) =
+  let b = Buffer.create 1024 in
+  List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s=%d\n" name v)) (Metrics.dump m);
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_chrome_trace t path = write_file path (chrome_trace t)
+
+(* [.json] gets the JSON object; anything else the key=value lines. *)
+let write_metrics m path =
+  write_file path
+    (if Filename.check_suffix path ".json" then metrics_json m else metrics_kv m)

@@ -1,0 +1,14 @@
+(** Exporters: Chrome trace-event JSON (loadable at chrome://tracing
+    or ui.perfetto.dev) and flat metrics dumps (JSON object or
+    [key=value] lines).  Metrics dumps are name-sorted with integer
+    values only — two runs that did the same work are byte-identical. *)
+
+val chrome_trace : Trace.t -> string
+val metrics_json : Metrics.t -> string
+val metrics_kv : Metrics.t -> string
+
+val write_chrome_trace : Trace.t -> string -> unit
+
+val write_metrics : Metrics.t -> string -> unit
+(** Writes {!metrics_json} when the path ends in [.json], otherwise
+    {!metrics_kv}. *)

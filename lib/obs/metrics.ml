@@ -1,0 +1,59 @@
+(* Named atomic counters and gauges.
+
+   The registry is an association list behind one atomic head; a cell,
+   once inserted, is never moved, so [add] after the first hit is a
+   single [Atomic.fetch_and_add] with no allocation.  Insertion races
+   between domains are resolved by compare-and-set on the head: the
+   loser rescans and finds the winner's cell, so a name maps to
+   exactly one cell forever — which is what makes [dump] duplicate-free
+   without locking.
+
+   Everything is an [int] on purpose: integer counters summed in any
+   order are deterministic, so a metrics dump at [--jobs 1] with a
+   fixed seed is byte-identical across runs (timings live in the
+   trace, never here). *)
+
+type t = {
+  enabled : bool;
+  cells : (string * int Atomic.t) list Atomic.t;
+}
+
+let off = { enabled = false; cells = Atomic.make [] }
+let create () = { enabled = true; cells = Atomic.make [] }
+let enabled t = t.enabled
+
+let rec cell t name =
+  let cells = Atomic.get t.cells in
+  match List.assoc_opt name cells with
+  | Some c -> c
+  | None ->
+      let c = Atomic.make 0 in
+      if Atomic.compare_and_set t.cells cells ((name, c) :: cells) then c
+      else cell t name
+
+let add t name n = if t.enabled && n <> 0 then ignore (Atomic.fetch_and_add (cell t name) n)
+let incr t name = add t name 1
+
+let set t name v = if t.enabled then Atomic.set (cell t name) v
+
+let set_max t name v =
+  if t.enabled then begin
+    let c = cell t name in
+    let rec go () =
+      let cur = Atomic.get c in
+      if v > cur && not (Atomic.compare_and_set c cur v) then go ()
+    in
+    go ()
+  end
+
+let get t name =
+  match List.assoc_opt name (Atomic.get t.cells) with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let dump t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (List.map (fun (name, c) -> (name, Atomic.get c)) (Atomic.get t.cells))
+
+let merge ~into src = List.iter (fun (name, v) -> add into name v) (dump src)

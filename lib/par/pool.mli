@@ -21,12 +21,14 @@ val default_workers : unit -> int
     results in task order.  If any task raises, the first (lowest
     index) exception is re-raised after all workers have drained.
     [workers] is clamped to at least 1 and never exceeds the task
-    count. *)
-val run : ?workers:int -> (unit -> 'a) array -> 'a array
+    count.  A live [?obs] records one span per task (on the claiming
+    worker's domain lane) and a [pool.tasks.w<k>] claim counter per
+    worker; the default {!Ocgra_obs.Ctx.off} costs one branch. *)
+val run : ?workers:int -> ?obs:Ocgra_obs.Ctx.t -> (unit -> 'a) array -> 'a array
 
 (** [map_list ?workers f xs] is [List.map f xs] with the applications
     sharded across the pool (order preserved). *)
-val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?workers:int -> ?obs:Ocgra_obs.Ctx.t -> ('a -> 'b) -> 'a list -> 'b list
 
 (**/**)
 
@@ -37,4 +39,9 @@ val resolve : int option -> int -> int
 (** Internal plumbing shared with {!Race}: [workers] must already be
     resolved; [on_done i v] runs on the worker domain right after task
     [i] returns [v] (not called for raising tasks). *)
-val drain : workers:int -> on_done:(int -> 'a -> unit) -> (unit -> 'a) array -> 'a array
+val drain :
+  ?obs:Ocgra_obs.Ctx.t ->
+  workers:int ->
+  on_done:(int -> 'a -> unit) ->
+  (unit -> 'a) array ->
+  'a array

@@ -5,14 +5,14 @@
    cancellation flag.  Everything else — task claiming, result
    placement, exception policy — is [Pool.drain]. *)
 
-let run ?workers ~cancel ~accept (thunks : (unit -> 'a) array) =
+let run ?workers ?obs ~cancel ~accept (thunks : (unit -> 'a) array) =
   let n = Array.length thunks in
   let winner = Atomic.make (-1) in
   let on_done i v =
     if accept v && Atomic.compare_and_set winner (-1) i then Cancel.set cancel
   in
   let results =
-    Pool.drain ~workers:(Pool.resolve workers n) ~on_done thunks
+    Pool.drain ?obs ~workers:(Pool.resolve workers n) ~on_done thunks
   in
   let w = Atomic.get winner in
   (results, if w < 0 then None else Some w)

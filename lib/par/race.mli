@@ -20,6 +20,7 @@
     the pool drains. *)
 val run :
   ?workers:int ->
+  ?obs:Ocgra_obs.Ctx.t ->
   cancel:Cancel.t ->
   accept:('a -> bool) ->
   (unit -> 'a) array ->

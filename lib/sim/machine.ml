@@ -406,7 +406,21 @@ let run_internal (p : Problem.t) (m : Mapping.t) (io : io) ~iters
       detections = !detections;
     } )
 
-let run p m io ~iters = fst (run_internal p m io ~iters ~transients:[])
+let flush_stats obs (s : stats) =
+  Ocgra_obs.Ctx.add obs "sim.cycles" s.cycles;
+  Ocgra_obs.Ctx.add obs "sim.op_instances" s.op_instances;
+  Ocgra_obs.Ctx.add obs "sim.route_instances" s.route_instances;
+  Ocgra_obs.Ctx.add obs "sim.rf_reads" s.rf_reads;
+  Ocgra_obs.Ctx.add obs "sim.rf_writes" s.rf_writes;
+  Ocgra_obs.Ctx.add obs "sim.pe_active_cycles" s.pe_active_cycles
+
+let run ?(obs = Ocgra_obs.Ctx.off) p m io ~iters =
+  let result =
+    Ocgra_obs.Ctx.span obs ~cat:"sim" "sim:run" (fun () ->
+        fst (run_internal p m io ~iters ~transients:[]))
+  in
+  flush_stats obs result.stats;
+  result
 let run_transient p m io ~iters ~transients = run_internal p m io ~iters ~transients
 
 (* End-to-end verification: run the mapping and compare every output

@@ -57,8 +57,17 @@ val output_stream : result -> string -> int list
 val refuse_faults : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> unit
 
 (** Execute [iters] iterations of the mapped kernel.  Refuses (with
-    {!Simulation_error}) mappings that use faulted resources. *)
-val run : Ocgra_core.Problem.t -> Ocgra_core.Mapping.t -> io -> iters:int -> result
+    {!Simulation_error}) mappings that use faulted resources.  [obs]
+    records one [sim:run] span and flushes the run's tallies
+    ([sim.cycles], [sim.op_instances], [sim.route_instances],
+    [sim.rf_reads], [sim.rf_writes], [sim.pe_active_cycles]). *)
+val run :
+  ?obs:Ocgra_obs.Ctx.t ->
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  io ->
+  iters:int ->
+  result
 
 (** Like {!run}, but applies the given transient events mid-run: bit
     flips corrupt the struck output register, link drops replace the

@@ -89,8 +89,8 @@ let classify (p : Problem.t) (m : Mapping.t) ~io ~iters ~expected ~transients =
    sequentially.  The report is therefore bit-identical for any
    [workers], including 1; [Rng.t] itself is domain-unsafe and never
    crosses the fan-out (see rng.mli). *)
-let run_campaign ?workers (p : Problem.t) (m : Mapping.t) ~mk_io ~iters ~expected ~trials ~rate
-    ~seed =
+let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) (m : Mapping.t) ~mk_io ~iters
+    ~expected ~trials ~rate ~seed =
   if trials < 0 then invalid_arg "Reliability.run_campaign: negative trial count";
   let rng = Ocgra_util.Rng.create (0xCA4A1 lxor seed) in
   let hz = horizon m ~iters in
@@ -104,18 +104,32 @@ let run_campaign ?workers (p : Problem.t) (m : Mapping.t) ~mk_io ~iters ~expecte
     let applied = match ts with Some ts -> ts.Machine.applied | None -> 0 in
     (cls, List.length transients, applied)
   in
-  let per_trial = Ocgra_par.Pool.run ?workers (Array.map trial seeds) in
-  Array.fold_left
-    (fun r (cls, injected, applied) ->
-      let r = { r with injected = r.injected + injected; applied = r.applied + applied } in
-      match cls with
-      | Correct -> { r with correct = r.correct + 1 }
-      | Masked -> { r with masked = r.masked + 1 }
-      | Detected -> { r with detected = r.detected + 1 }
-      | Sdc -> { r with sdc = r.sdc + 1 }
-      | Crash -> { r with crash = r.crash + 1 })
-    { trials; correct = 0; masked = 0; detected = 0; sdc = 0; crash = 0; injected = 0; applied = 0 }
-    per_trial
+  let per_trial =
+    Ocgra_obs.Ctx.span obs ~cat:"reliability" "campaign:trials" (fun () ->
+        Ocgra_par.Pool.run ?workers ~obs (Array.map trial seeds))
+  in
+  let report =
+    Array.fold_left
+      (fun r (cls, injected, applied) ->
+        let r = { r with injected = r.injected + injected; applied = r.applied + applied } in
+        match cls with
+        | Correct -> { r with correct = r.correct + 1 }
+        | Masked -> { r with masked = r.masked + 1 }
+        | Detected -> { r with detected = r.detected + 1 }
+        | Sdc -> { r with sdc = r.sdc + 1 }
+        | Crash -> { r with crash = r.crash + 1 })
+      { trials; correct = 0; masked = 0; detected = 0; sdc = 0; crash = 0; injected = 0; applied = 0 }
+      per_trial
+  in
+  Ocgra_obs.Ctx.add obs "campaign.trials" report.trials;
+  Ocgra_obs.Ctx.add obs "campaign.correct" report.correct;
+  Ocgra_obs.Ctx.add obs "campaign.masked" report.masked;
+  Ocgra_obs.Ctx.add obs "campaign.detected" report.detected;
+  Ocgra_obs.Ctx.add obs "campaign.sdc" report.sdc;
+  Ocgra_obs.Ctx.add obs "campaign.crash" report.crash;
+  Ocgra_obs.Ctx.add obs "campaign.injected" report.injected;
+  Ocgra_obs.Ctx.add obs "campaign.applied" report.applied;
+  report
 
 (* ---------- hardening overhead ---------- *)
 

@@ -56,9 +56,13 @@ val classify :
     alone.  [mk_io] must build a fresh io per trial (Store ops mutate
     memory) and is called from worker domains, so it must not close
     over unsynchronised mutable state.  Raises [Invalid_argument] on a
-    negative trial count. *)
+    negative trial count.  [obs] records one span over the fan-out and
+    the campaign tallies ([campaign.trials], [campaign.correct],
+    [campaign.masked], [campaign.detected], [campaign.sdc],
+    [campaign.crash], [campaign.injected], [campaign.applied]). *)
 val run_campaign :
   ?workers:int ->
+  ?obs:Ocgra_obs.Ctx.t ->
   Ocgra_core.Problem.t ->
   Ocgra_core.Mapping.t ->
   mk_io:(unit -> Machine.io) ->

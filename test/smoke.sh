@@ -44,4 +44,23 @@ PAR=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 \
   --fallback modulo-greedy,constructive \
   | grep -q "mapping failed"
 
+# observability: --trace must produce a parseable Chrome trace with at
+# least one tier span, and --metrics must carry live engine counters
+TMPD=$(mktemp -d)
+trap 'rm -rf "$TMPD"' EXIT
+"$OCGRA" map -k dot-product --fallback constructive,modulo-greedy --jobs 1 \
+  --trace "$TMPD/trace.json" --metrics "$TMPD/metrics.json" | grep -q "mapped:"
+python3 -m json.tool "$TMPD/trace.json" > /dev/null
+grep -q '"tier:' "$TMPD/trace.json"
+python3 -m json.tool "$TMPD/metrics.json" > /dev/null
+grep -q '"mapper.runs"' "$TMPD/metrics.json"
+
+# determinism: two identical single-worker runs of the same seed must
+# dump byte-identical metrics (integer counters only, name-sorted)
+"$OCGRA" map -k dot-product -m modulo-greedy --seed 9 --jobs 1 \
+  --metrics "$TMPD/m1.metrics" > /dev/null
+"$OCGRA" map -k dot-product -m modulo-greedy --seed 9 --jobs 1 \
+  --metrics "$TMPD/m2.metrics" > /dev/null
+cmp "$TMPD/m1.metrics" "$TMPD/m2.metrics"
+
 echo "smoke OK"

@@ -304,7 +304,7 @@ let test_mapper_run_validates () =
      garbage gets reported as a failure with violations in the note *)
   let bogus =
     Mapper.make ~name:"bogus" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
-      ~approach:Taxonomy.Heuristic (fun p _rng _dl ->
+      ~approach:Taxonomy.Heuristic (fun p _rng _dl _obs ->
         let n = Dfg.node_count p.Problem.dfg in
         {
           Mapper.mapping =
@@ -313,6 +313,7 @@ let test_mapper_run_validates () =
           attempts = 1;
           elapsed_s = 0.0;
           note = "";
+          trail = [];
         })
   in
   let k = Kernels.dot_product () in

@@ -116,8 +116,15 @@ let test_elapsed_is_wall_clock () =
      harness's own clock *)
   let liar =
     Mapper.make ~name:"liar" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
-      ~approach:Taxonomy.Heuristic (fun _p _rng _dl ->
-        { Mapper.mapping = None; proven_optimal = false; attempts = 1; elapsed_s = 999.0; note = "" })
+      ~approach:Taxonomy.Heuristic (fun _p _rng _dl _obs ->
+        {
+          Mapper.mapping = None;
+          proven_optimal = false;
+          attempts = 1;
+          elapsed_s = 999.0;
+          note = "";
+          trail = [];
+        })
   in
   let k = Kernels.dot_product () in
   let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
@@ -139,8 +146,15 @@ let test_unmappable_fails_cleanly () =
 
 let failing_tier =
   Mapper.make ~name:"never" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
-    ~approach:Taxonomy.Heuristic (fun _p _rng _dl ->
-      { Mapper.mapping = None; proven_optimal = false; attempts = 1; elapsed_s = 0.0; note = "nope" })
+    ~approach:Taxonomy.Heuristic (fun _p _rng _dl _obs ->
+      {
+        Mapper.mapping = None;
+        proven_optimal = false;
+        attempts = 1;
+        elapsed_s = 0.0;
+        note = "nope";
+        trail = [];
+      })
 
 let test_harness_falls_back () =
   let k = Kernels.dot_product () in
@@ -186,8 +200,9 @@ let test_harness_failure_trail () =
   let o = Mapper.Harness.run ~seed:7 [ failing_tier; failing_tier ] p in
   checkb "no mapping" true (o.Mapper.mapping = None);
   checkb "headline" true (contains o.Mapper.note "no tier answered");
-  checkb "try 1 recorded with its note" true (contains o.Mapper.note "never[try 1]: nope");
-  checkb "try 2 recorded with its note" true (contains o.Mapper.note "never[try 2]: nope");
+  checkb "try 1 recorded with verdict" true (contains o.Mapper.note "never[try 1]: failed");
+  checkb "try 2 recorded with verdict" true (contains o.Mapper.note "never[try 2]: failed");
+  checkb "tier's own note carried" true (contains o.Mapper.note "— nope");
   checki "attempts summed over tiers and tries" 4 o.Mapper.attempts
 
 (* Retries must not replay the same search: each try re-seeds the
@@ -200,9 +215,16 @@ let test_harness_retry_seeds () =
     let draws = ref [] in
     let spy =
       Mapper.make ~name:"spy" ~citation:"-" ~scope:Taxonomy.Temporal_mapping
-        ~approach:Taxonomy.Heuristic (fun _p rng _dl ->
+        ~approach:Taxonomy.Heuristic (fun _p rng _dl _obs ->
           draws := Rng.bits rng :: !draws;
-          { Mapper.mapping = None; proven_optimal = false; attempts = 1; elapsed_s = 0.0; note = "" })
+          {
+            Mapper.mapping = None;
+            proven_optimal = false;
+            attempts = 1;
+            elapsed_s = 0.0;
+            note = "";
+            trail = [];
+          })
     in
     let o = Mapper.Harness.run ~seed:5 ~retries:3 [ spy ] p in
     checkb "no mapping" true (o.Mapper.mapping = None);

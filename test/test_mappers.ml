@@ -35,7 +35,7 @@ let test_every_mapper_output_validates () =
         (fun (k : Kernels.t) ->
           let p = problem_for mapper k in
           let rng = Rng.create 7 in
-          let outcome = mapper.map p rng Deadline.none in
+          let outcome = mapper.map p rng Deadline.none Ocgra_obs.Ctx.off in
           match outcome.Mapper.mapping with
           | None -> () (* failing to map is allowed; lying is not *)
           | Some m ->

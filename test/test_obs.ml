@@ -1,0 +1,356 @@
+(* Observability subsystem tests: span nesting and ordering on the
+   monotonic clock, counter determinism (same seed, one worker =>
+   byte-identical dumps), lock-free trace merging across worker
+   domains, exporter output validity (checked by a small recursive
+   descent JSON parser — no JSON library in the tree, on purpose) and
+   the structured per-tier trail the racing harness now reports. *)
+
+open Ocgra_core
+module Obs = Ocgra_obs
+module Ctx = Ocgra_obs.Ctx
+module Kernels = Ocgra_workloads.Kernels
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let cgra44 = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 ()
+
+(* ---------- a minimal JSON validity checker ---------- *)
+
+(* Accepts exactly the JSON grammar (RFC 8259, minus extension
+   niceties we never emit: no leading +, no lone surrogate checks).
+   Returns true iff the whole string is one valid JSON value. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let fail = ref false in
+  let expect c = if peek () = Some c then advance () else fail := true in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l else fail := true
+  in
+  let string_lit () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '"' ->
+          advance ();
+          fin := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
+                | _ -> fail := true);
+                if not !fail then advance ()
+              done
+          | _ -> fail := true)
+      | Some c when Char.code c < 0x20 -> fail := true
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    let saw = ref false in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      saw := true;
+      advance ()
+    done;
+    if not !saw then fail := true
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let fin = ref false in
+          while (not !fin) && not !fail do
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' ->
+                advance ();
+                fin := true
+            | _ -> fail := true
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let fin = ref false in
+          while (not !fin) && not !fail do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' ->
+                advance ();
+                fin := true
+            | _ -> fail := true
+          done
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail := true);
+    skip_ws ()
+  in
+  value ();
+  (not !fail) && !pos = n
+
+let test_json_checker_sanity () =
+  (* the checker itself must reject garbage, or the exporter tests
+     prove nothing *)
+  List.iter
+    (fun good -> checkb good true (json_valid good))
+    [
+      "{}"; "[]"; "null"; "-12.5e3"; "{\"a\": [1, 2, {\"b\": \"c\\n\\u0041\"}]}";
+      " { \"x\" : true } ";
+    ];
+  List.iter
+    (fun bad -> checkb bad false (json_valid bad))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "tru"; "\"unterminated"; "{} extra"; "01x"; "\"bad\\q\"" ]
+
+(* ---------- spans ---------- *)
+
+let test_span_nesting_and_order () =
+  let tr = Obs.Trace.create () in
+  let r =
+    Obs.Trace.span tr "outer" (fun () ->
+        Obs.Trace.span tr ~cat:"inner-cat" "inner" (fun () -> 41) + 1)
+  in
+  checki "span returns the body's value" 42 r;
+  match Obs.Trace.spans tr with
+  | [ outer; inner ] ->
+      checks "outer first (earlier start, longer)" "outer" outer.Obs.Trace.name;
+      checks "inner second" "inner" inner.Obs.Trace.name;
+      checks "category recorded" "inner-cat" inner.Obs.Trace.cat;
+      checkb "inner starts within outer" true (inner.Obs.Trace.ts >= outer.Obs.Trace.ts);
+      checkb "inner ends within outer" true
+        (inner.Obs.Trace.ts +. inner.Obs.Trace.dur
+        <= outer.Obs.Trace.ts +. outer.Obs.Trace.dur +. 1e-9);
+      checkb "durations non-negative" true
+        (outer.Obs.Trace.dur >= 0.0 && inner.Obs.Trace.dur >= 0.0)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_survives_exception () =
+  let tr = Obs.Trace.create () in
+  (try Obs.Trace.span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  checki "span published on exception" 1 (Obs.Trace.count tr)
+
+let test_off_records_nothing () =
+  let r = Ctx.span Ctx.off "never" (fun () -> 7) in
+  checki "off span still runs the body" 7 r;
+  Ctx.incr Ctx.off "never.counter";
+  checki "off trace empty" 0 (Obs.Trace.count (Ctx.trace Ctx.off));
+  checki "off metrics empty" 0 (List.length (Obs.Metrics.dump (Ctx.metrics Ctx.off)))
+
+(* ---------- counters ---------- *)
+
+let test_counter_basics () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "b";
+  Obs.Metrics.add m "a" 5;
+  Obs.Metrics.add m "b" 2;
+  Obs.Metrics.set_max m "c" 9;
+  Obs.Metrics.set_max m "c" 3;
+  checki "get a" 5 (Obs.Metrics.get m "a");
+  checki "get absent" 0 (Obs.Metrics.get m "zzz");
+  checkb "dump is name-sorted" true
+    (Obs.Metrics.dump m = [ ("a", 5); ("b", 3); ("c", 9) ]);
+  let dst = Obs.Metrics.create () in
+  Obs.Metrics.add dst "b" 1;
+  Obs.Metrics.merge ~into:dst m;
+  checkb "merge adds" true (Obs.Metrics.dump dst = [ ("a", 5); ("b", 4); ("c", 9) ])
+
+let map_with_metrics seed =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) in
+  let o = Mapper.run (Ocgra_mappers.Registry.find "sat") ~seed ~obs p in
+  checkb "mapped" true (o.Mapper.mapping <> None);
+  Obs.Metrics.dump (Ctx.metrics obs)
+
+let test_counters_deterministic () =
+  (* one worker, one seed: the counter dump is a pure function of the
+     run, so two runs must agree exactly (the smoke test checks the
+     same property end-to-end through the CLI, byte-for-byte) *)
+  let a = map_with_metrics 11 in
+  let b = map_with_metrics 11 in
+  checkb "same seed, same counters" true (a = b);
+  checkb "engine counters are live" true
+    (List.exists (fun (name, v) -> name = "sat.decisions" && v > 0) a)
+
+(* ---------- concurrent tracing and the pool ---------- *)
+
+let test_trace_merge_across_workers () =
+  let obs = Ctx.create () in
+  let tasks = Array.init 16 (fun i () -> Ctx.span obs "task-body" (fun () -> i * 2)) in
+  let out = Ocgra_par.Pool.run ~workers:4 ~obs tasks in
+  checkb "results correct" true (out = Array.init 16 (fun i -> i * 2));
+  (* every task publishes two spans (its own + the pool's wrapper), all
+     CAS-pushed onto one shared list: none may be lost *)
+  let spans = Obs.Trace.spans (Ctx.trace obs) in
+  checki "16 task-body spans survive the merge" 16
+    (List.length (List.filter (fun s -> s.Obs.Trace.name = "task-body") spans));
+  checki "16 pool wrapper spans" 16
+    (List.length
+       (List.filter
+          (fun s -> String.length s.Obs.Trace.name >= 5 && String.sub s.Obs.Trace.name 0 5 = "pool:")
+          spans));
+  checkb "spans sorted by start time" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) -> a.Obs.Trace.ts <= b.Obs.Trace.ts && sorted rest
+       | _ -> true
+     in
+     sorted spans);
+  (* per-worker claim tallies must account for every task exactly once *)
+  let m = Ctx.metrics obs in
+  let claimed =
+    List.fold_left
+      (fun acc (name, v) ->
+        if String.length name >= 10 && String.sub name 0 10 = "pool.tasks" then acc + v else acc)
+      0 (Obs.Metrics.dump m)
+  in
+  checki "every task claimed exactly once" 16 claimed
+
+(* ---------- exporters ---------- *)
+
+let test_chrome_trace_valid_json () =
+  let obs = Ctx.create () in
+  ignore
+    (Ocgra_par.Pool.run ~workers:4 ~obs
+       (Array.init 8 (fun i () ->
+            Ctx.span obs ~args:[ ("i", string_of_int i); ("quote", "a\"b\\c\nd") ] "work"
+              (fun () -> i))));
+  let json = Obs.Export.chrome_trace (Ctx.trace obs) in
+  checkb "chrome trace is valid JSON" true (json_valid json);
+  checkb "has traceEvents" true
+    (String.length json > 20 && String.sub json 0 16 = "{\"traceEvents\":[")
+
+let test_metrics_exports () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add m "sat.conflicts" 12;
+  Obs.Metrics.add m "weird\"name" 1;
+  checkb "metrics JSON valid" true (json_valid (Obs.Export.metrics_json m));
+  let kv = Obs.Export.metrics_kv m in
+  checkb "kv has both lines" true
+    (String.split_on_char '\n' kv |> List.exists (fun l -> l = "sat.conflicts=12"));
+  let empty = Obs.Export.metrics_json (Obs.Metrics.create ()) in
+  checkb "empty metrics still valid JSON" true (json_valid empty)
+
+(* ---------- the harness trail ---------- *)
+
+let failing_tier =
+  Mapper.make ~name:"never" ~citation:"test" ~scope:Taxonomy.Temporal_mapping
+    ~approach:Taxonomy.Heuristic (fun _p _rng _dl _obs ->
+      Mapper.no_mapping ~attempts:1 ~elapsed_s:0.0 ~note:"synthetic failure" ())
+
+let test_harness_run_trail () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let chain = [ failing_tier; Ocgra_mappers.Registry.find "modulo-greedy" ] in
+  let o = Mapper.Harness.run ~seed:7 ~retries:1 ~deadline_s:30.0 chain p in
+  checkb "mapped by tier 2" true (o.Mapper.mapping <> None);
+  checki "one record per try" 2 (List.length o.Mapper.trail);
+  (match o.Mapper.trail with
+  | [ first; second ] ->
+      checks "tier 1 name" "never" first.Mapper.tier;
+      checkb "tier 1 failed" true (first.Mapper.verdict = Mapper.Failed);
+      checks "tier 2 name" "modulo-greedy" second.Mapper.tier;
+      checkb "tier 2 won" true (second.Mapper.verdict = Mapper.Won);
+      checkb "elapsed recorded" true (first.Mapper.took_s >= 0.0 && second.Mapper.took_s >= 0.0)
+  | _ -> Alcotest.fail "expected exactly two trail records");
+  checkb "report renders" true
+    (String.length (Mapper.report_to_string (List.hd o.Mapper.trail)) > 0)
+
+let test_race_trail_verdicts () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) in
+  let chain = [ failing_tier; Ocgra_mappers.Registry.find "modulo-greedy" ] in
+  let o = Mapper.Harness.race ~seed:7 ~deadline_s:30.0 ~workers:2 ~obs chain p in
+  checkb "race mapped" true (o.Mapper.mapping <> None);
+  checki "one record per tier" 2 (List.length o.Mapper.trail);
+  let winner = List.filter (fun r -> r.Mapper.verdict = Mapper.Won) o.Mapper.trail in
+  checki "exactly one winner" 1 (List.length winner);
+  checks "winner is the real mapper" "modulo-greedy" (List.hd winner).Mapper.tier;
+  List.iter
+    (fun r ->
+      checkb
+        (Printf.sprintf "tier %s has a non-Won verdict" r.Mapper.tier)
+        true
+        (r.Mapper.verdict <> Mapper.Won))
+    (List.filter (fun r -> r.Mapper.tier = "never") o.Mapper.trail);
+  (* the forked per-tier sinks were absorbed back into [obs] *)
+  checkb "absorbed counters visible" true
+    (Obs.Metrics.get (Ctx.metrics obs) "mapper.runs" >= 2)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json-checker",
+        [ Alcotest.test_case "accepts good, rejects bad" `Quick test_json_checker_sanity ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting_and_order;
+          Alcotest.test_case "published on exception" `Quick test_span_survives_exception;
+          Alcotest.test_case "off context records nothing" `Quick test_off_records_nothing;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "deterministic at one worker" `Quick test_counters_deterministic;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "trace merge across 4 workers" `Quick test_trace_merge_across_workers ]
+      );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace valid JSON" `Quick test_chrome_trace_valid_json;
+          Alcotest.test_case "metrics JSON and kv" `Quick test_metrics_exports;
+        ] );
+      ( "harness-trail",
+        [
+          Alcotest.test_case "sequential trail" `Quick test_harness_run_trail;
+          Alcotest.test_case "race trail verdicts" `Quick test_race_trail_verdicts;
+        ] );
+    ]

@@ -99,7 +99,7 @@ let problem_of kernel =
    than any test budget: only cancellation or expiry can end it. *)
 let slow_tier =
   Mapper.make ~name:"slow-spin" ~citation:"test" ~scope:Taxonomy.Temporal_mapping
-    ~approach:Taxonomy.Heuristic (fun _p _rng dl ->
+    ~approach:Taxonomy.Heuristic (fun _p _rng dl _obs ->
       let stop = Deadline.should_stop dl in
       let t0 = Deadline.now () in
       while (not (stop ())) && Deadline.now () -. t0 < 60.0 do
@@ -114,18 +114,18 @@ let slow_tier =
    so a race can never be won by an invalid mapping. *)
 let bogus_tier =
   Mapper.make ~name:"bogus-fast" ~citation:"test" ~scope:Taxonomy.Temporal_mapping
-    ~approach:Taxonomy.Heuristic (fun p rng _dl ->
+    ~approach:Taxonomy.Heuristic (fun p rng _dl _obs ->
       match Ocgra_mappers.Constructive.map p rng with
       | Some m, attempts, _ ->
           let binding = Array.copy m.Mapping.binding in
           binding.(0) <- binding.(1);
           { mapping = Some { m with Mapping.binding }; proven_optimal = false; attempts;
-            elapsed_s = 0.0; note = "" }
+            elapsed_s = 0.0; note = ""; trail = [] }
       | None, attempts, _ -> Mapper.no_mapping ~attempts ~elapsed_s:0.0 ())
 
 let failing_tier name =
   Mapper.make ~name ~citation:"test" ~scope:Taxonomy.Temporal_mapping
-    ~approach:Taxonomy.Heuristic (fun _p _rng _dl ->
+    ~approach:Taxonomy.Heuristic (fun _p _rng _dl _obs ->
       Mapper.no_mapping ~attempts:1 ~elapsed_s:0.0 ~note:"synthetic failure" ())
 
 let contains hay needle =
