@@ -4,12 +4,26 @@
    generators with bechamel (one Test.make per artifact).
 
      dune exec bench/main.exe            everything
-     dune exec bench/main.exe -- quick   skip the slow exact mappers   *)
+     dune exec bench/main.exe -- quick   skip the slow exact mappers
+     dune exec bench/main.exe -- t1b-only [journal=FILE] [resume]
+                                         just the empirical sweep, with
+                                         optional crash-safe checkpointing *)
 
 module Table = Ocgra_util.Table
 module Kernels = Ocgra_workloads.Kernels
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let args = List.tl (Array.to_list Sys.argv)
+let quick = List.mem "quick" args
+let t1b_only = List.mem "t1b-only" args
+let bench_resume = List.mem "resume" args
+
+let bench_journal =
+  List.find_map
+    (fun a ->
+      if String.length a > 8 && String.sub a 0 8 = "journal=" then
+        Some (String.sub a 8 (String.length a - 8))
+      else None)
+    args
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -38,7 +52,7 @@ let slow_mappers = [ "ilp-temporal"; "cp"; "sat"; "ilp-spatial" ]
    time and sums across workers — and a mapper's "time" column is the
    sum of its cells' mapping times (comparable across mappers
    regardless of interleaving). *)
-(* Minimal JSON string escaping for the BENCH_PR5.json emitter: cell
+(* Minimal JSON string escaping for the BENCH_PR6.json emitter: cell
    names are plain identifiers, but stay safe anyway. *)
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -81,6 +95,52 @@ let write_bench_json path records =
         records;
       output_string oc "\n]\n}\n")
 
+(* ----- crash-safe sweep checkpointing (same discipline as
+   Reliability.run_campaign): one JSON line per finished cell,
+   appended from whichever worker domain ran it, fsync'd in batches;
+   resume replays the journal, skips finished cells and recomputes
+   only the rest.  Cell identity is "mapper/kernel", so a resumed
+   sweep must be configured identically — the header line pins the
+   quick flag. ----- *)
+
+let bench_header () = Printf.sprintf "{\"bench\": {\"suite\": \"t1b\", \"quick\": %b}}" quick
+
+let counters_to_kv cs = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) cs)
+
+let counters_of_kv s =
+  if s = "" then []
+  else
+    String.split_on_char ' ' s
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> None
+           | Some i -> (
+               let name = String.sub kv 0 i in
+               match int_of_string_opt (String.sub kv (i + 1) (String.length kv - i - 1)) with
+               | Some v -> Some (name, v)
+               | None -> None))
+
+let cell_line name (_, dt, ii, proven, counters) =
+  Printf.sprintf "{\"cell\": %S, \"ii\": %d, \"proven\": %B, \"time\": %.6f, \"counters\": %S}"
+    name
+    (match ii with Some ii -> ii | None -> -1)
+    proven dt (counters_to_kv counters)
+
+let shown_of ~ii ~proven =
+  match ii with
+  | Some ii -> Printf.sprintf "II=%d%s" ii (if proven then "*" else "")
+  | None -> "-"
+
+let parse_cell_line line =
+  match
+    Scanf.sscanf line "{\"cell\": %S, \"ii\": %d, \"proven\": %B, \"time\": %f, \"counters\": %S}"
+      (fun n ii pr t c -> (n, ii, pr, t, c))
+  with
+  | exception _ -> None (* torn tail of a killed sweep: the cell reruns *)
+  | n, ii, pr, t, c ->
+      let ii = if ii < 0 then None else Some ii in
+      Some (n, (shown_of ~ii ~proven:pr, t, ii, pr, counters_of_kv c))
+
 let t1b () =
   section "Table I (empirical): one implemented representative per cell, common suite";
   let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
@@ -120,10 +180,73 @@ let t1b () =
     let ii = Option.map (fun m -> m.Ocgra_core.Mapping.ii) o.mapping in
     (shown, dt, ii, o.proven_optimal, Ocgra_obs.Metrics.dump (Ocgra_obs.Ctx.metrics obs))
   in
-  let tasks =
-    Array.of_list (List.concat_map (fun m -> List.map (cell m) suite) mappers)
+  let pairs =
+    Array.of_list (List.concat_map (fun m -> List.map (fun k -> (m, k)) suite) mappers)
   in
-  let cells = Ocgra_par.Pool.run tasks in
+  let n = Array.length pairs in
+  let name_of i =
+    let (m : Ocgra_core.Mapper.t), (k : Kernels.t) = pairs.(i) in
+    m.name ^ "/" ^ k.name
+  in
+  (* journal replay: completed cells keyed by "mapper/kernel" *)
+  let completed = Hashtbl.create 64 in
+  (match bench_journal with
+  | Some path when bench_resume -> (
+      match Ocgra_par.Journal.read_lines path with
+      | [] -> ()
+      | header :: rest ->
+          if header <> bench_header () then
+            invalid_arg
+              (Printf.sprintf "bench: journal %s was written by a differently-configured sweep"
+                 path);
+          List.iter
+            (fun line ->
+              match parse_cell_line line with
+              | Some (name, c) -> Hashtbl.replace completed name c
+              | None -> ())
+            rest)
+  | _ -> ());
+  let resumed = Hashtbl.length completed in
+  let journal =
+    Option.map
+      (fun path ->
+        let fresh = resumed = 0 in
+        let j = Ocgra_par.Journal.open_append ~fresh path in
+        if fresh then Ocgra_par.Journal.append j (bench_header ());
+        j)
+      bench_journal
+  in
+  (* quarantined cells degrade to an ERR entry instead of killing the
+     sweep; every other cell still prints *)
+  let cells = Array.make n ("ERR", 0.0, None, false, []) in
+  let pending =
+    List.filter
+      (fun i ->
+        match Hashtbl.find_opt completed (name_of i) with
+        | Some c ->
+            cells.(i) <- c;
+            false
+        | None -> true)
+      (List.init n Fun.id)
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun i ->
+           let m, k = pairs.(i) in
+           fun (_stop : unit -> bool) ->
+             let r = cell m k () in
+             (match journal with
+             | Some j -> Ocgra_par.Journal.append j (cell_line (name_of i) r)
+             | None -> ());
+             (i, r))
+         pending)
+  in
+  let summary = Ocgra_par.Supervise.run tasks in
+  (match journal with Some j -> Ocgra_par.Journal.close j | None -> ());
+  Array.iter
+    (function Ocgra_par.Supervise.Ok (i, r) -> cells.(i) <- r | _ -> ())
+    summary.outcomes;
   let records =
     List.concat
       (List.mapi
@@ -135,7 +258,7 @@ let t1b () =
              suite)
          mappers)
   in
-  write_bench_json "BENCH_PR5.json" records;
+  write_bench_json "BENCH_PR6.json" records;
   let rows =
     List.mapi
       (fun mi (mapper : Ocgra_core.Mapper.t) ->
@@ -163,7 +286,13 @@ let t1b () =
   print_endline "  S(patial) rows run at II=1 on a diagonal-topology array; '-' = mapping failed";
   Printf.printf "  cells mapped on %d worker domain(s); time = summed per-cell mapping time\n"
     (Ocgra_par.Pool.default_workers ());
-  print_endline "  machine-readable sweep written to BENCH_PR5.json"
+  if resumed > 0 then
+    Printf.printf "  resumed: %d cell(s) replayed from the journal, %d recomputed\n" resumed
+      (List.length pending);
+  (match summary.quarantined with
+  | [] -> ()
+  | q -> Printf.printf "  quarantined: %d cell(s) kept failing and print as ERR\n" (List.length q));
+  print_endline "  machine-readable sweep written to BENCH_PR6.json"
 
 (* ------------------------------------------------------------------ *)
 (* F1: architecture-class comparison                                   *)
@@ -657,7 +786,7 @@ let bechamel_suite () =
         stats)
     tests
 
-let () =
+let run_everything () =
   t1a ();
   f4 ();
   f2 ();
@@ -675,3 +804,10 @@ let () =
   ab_exact_scaling ();
   bechamel_suite ();
   print_endline "\nAll artifacts regenerated."
+
+let () =
+  if t1b_only then begin
+    t1b ();
+    print_endline "\nEmpirical sweep regenerated."
+  end
+  else run_everything ()

@@ -84,6 +84,40 @@ let fault_rate_t =
     & info [ "fault-rate" ]
         ~doc:"Transient-event probability per PE per cycle during the campaign.")
 
+let retries_t =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ]
+        ~doc:
+          "Bounded retry budget: seed-varied tries per fallback tier, and supervised re-runs of a \
+           raising campaign trial (seeded exponential backoff + jitter between tries).")
+
+let chaos_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "chaos" ]
+        ~doc:
+          "Chaos injection: kill each campaign trial try with probability $(docv) (seeded from \
+           $(b,--fault-seed), so the fault pattern is reproducible).  Killed tries are retried up \
+           to $(b,--retries) times; a trial that keeps dying is quarantined, never fatal.")
+
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal every completed campaign trial to $(docv) (append-only JSON lines, fsync'd in \
+           batches) so a killed campaign can be resumed.")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay the $(b,--checkpoint) journal before running: completed trials are skipped and \
+           the final report is byte-identical to an uninterrupted run.")
+
 let trace_t =
   Arg.(
     value
@@ -120,14 +154,14 @@ let write_obs obs trace metrics =
    the single named mapper; both paths validate the result.  With
    [jobs] > 1 the chain is raced across domains instead of walked in
    order — same validated answer contract, min-over-tiers latency. *)
-let run_mapper ?(obs = Ocgra_obs.Ctx.off) mapper fallback seed deadline jobs p =
+let run_mapper ?(obs = Ocgra_obs.Ctx.off) ?(retries = 2) mapper fallback seed deadline jobs p =
   match fallback with
   | Some spec ->
       let chain = Ocgra_mappers.Registry.chain_of_spec spec in
       let workers = resolve_jobs jobs in
       if workers > 1 then
         Ocgra_core.Mapper.Harness.race ~seed ?deadline_s:deadline ~workers ~obs chain p
-      else Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline ~obs chain p
+      else Ocgra_core.Mapper.Harness.run ~seed ?deadline_s:deadline ~retries ~obs chain p
   | None ->
       Ocgra_core.Mapper.run (Ocgra_mappers.Registry.find mapper) ~seed ?deadline_s:deadline ~obs p
 
@@ -164,13 +198,13 @@ let problem_of kernel spatial cgra =
   (k, p)
 
 let map_cmd =
-  let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback jobs
-      trace metrics =
+  let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback
+      retries jobs trace metrics =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
     let obs = mk_obs trace metrics in
-    let o = run_mapper ~obs mapper fallback seed deadline jobs p in
+    let o = run_mapper ~obs ~retries mapper fallback seed deadline jobs p in
     (match o.mapping with
     | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
     | Some mapping ->
@@ -191,11 +225,12 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ jobs_t $ trace_t $ metrics_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ retries_t $ jobs_t $ trace_t
+      $ metrics_t)
 
 let sim_cmd =
   let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
-      campaign fault_rate jobs trace metrics =
+      campaign fault_rate retries chaos checkpoint resume jobs trace metrics =
     let obs = mk_obs trace metrics in
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
@@ -216,7 +251,7 @@ let sim_cmd =
         (Ocgra_dfg.Harden.mode_to_string mode)
         (Ocgra_dfg.Dfg.node_count k.dfg)
         (Ocgra_dfg.Dfg.node_count hdfg);
-    let o = run_mapper ~obs mapper fallback seed deadline jobs p in
+    let o = run_mapper ~obs ~retries mapper fallback seed deadline jobs p in
     (match o.mapping with
     | None -> Printf.printf "mapping failed (%s)\n" o.note
     | Some mapping -> (
@@ -244,11 +279,32 @@ let sim_cmd =
               expected;
             if campaign > 0 then begin
               (* trials shard across domains; the report is
-                 bit-identical for any worker count *)
+                 bit-identical for any worker count, chaos-masked
+                 retries included *)
               let workers = resolve_jobs jobs in
+              let chaos_t =
+                if chaos > 0.0 then
+                  Ocgra_par.Chaos.make ~fail_rate:chaos ~seed:(0xC4A05 lxor fault_seed) ()
+                else Ocgra_par.Chaos.none
+              in
+              let checkpoint_t =
+                Option.map
+                  (fun path -> { Ocgra_sim.Reliability.path; resume })
+                  checkpoint
+              in
+              if chaos > 0.0 then
+                Printf.printf "chaos: injecting task failures at rate %g (retries %d)\n" chaos
+                  retries;
+              (match checkpoint with
+              | Some path ->
+                  Printf.printf "checkpoint: %s journal %s\n"
+                    (if resume then "resuming from" else "writing")
+                    path
+              | None -> ());
               let rep =
-                Ocgra_sim.Reliability.run_campaign ~workers ~obs p mapping ~mk_io ~iters ~expected
-                  ~trials:campaign ~rate:fault_rate ~seed:fault_seed
+                Ocgra_sim.Reliability.run_campaign ~workers ~obs ~retries ~chaos:chaos_t
+                  ?checkpoint:checkpoint_t p mapping ~mk_io ~iters ~expected ~trials:campaign
+                  ~rate:fault_rate ~seed:fault_seed
               in
               Printf.printf "campaign (%s, rate %g, seed %d): %s\n"
                 (Ocgra_dfg.Harden.mode_to_string mode)
@@ -282,7 +338,7 @@ let sim_cmd =
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t
-      $ jobs_t $ trace_t $ metrics_t)
+      $ retries_t $ chaos_t $ checkpoint_t $ resume_t $ jobs_t $ trace_t $ metrics_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

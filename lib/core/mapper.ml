@@ -19,15 +19,18 @@ module Obs = Ocgra_obs.Ctx
 
 (* What happened to one tier try, machine-readable.  [Failed] covers
    both "technique gave up" and "produced an invalid mapping" (the
-   latter is flagged by the INVALID prefix in [detail]); [Cancelled]
-   means the tier was told to stop because a sibling already won;
-   [Expired] that its wall-clock share ran out first. *)
-type verdict = Won | Mapped_lost | Failed | Cancelled | Expired
+   latter is flagged by the INVALID prefix in [detail]); [Retried]
+   is a failure the harness is about to retry with a varied seed
+   (only final tries stay [Failed]); [Cancelled] means the tier was
+   told to stop because a sibling already won; [Expired] that its
+   wall-clock share ran out first. *)
+type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired
 
 let verdict_to_string = function
   | Won -> "won"
   | Mapped_lost -> "mapped but lost the race"
   | Failed -> "failed"
+  | Retried -> "failed (retrying)"
   | Cancelled -> "cancelled"
   | Expired -> "deadline expired"
 
@@ -195,15 +198,22 @@ module Harness = struct
                     };
                   Some o
               | None ->
+                  (* a try the loop is about to rerun is [Retried], so
+                     the trail distinguishes "gave up" from "kept
+                     going"; the retry condition mirrors the guards at
+                     the top of [attempt] *)
+                  let will_retry =
+                    try_no + 1 < max 1 retries && not (Deadline.expired dl)
+                  in
+                  let verdict =
+                    if will_retry then begin
+                      Obs.incr obs "harness.retries";
+                      Retried
+                    end
+                    else losing_verdict ~deadline:sub o
+                  in
                   record
-                    {
-                      tier = m.name;
-                      try_no;
-                      verdict = losing_verdict ~deadline:sub o;
-                      took_s;
-                      detail = o.note;
-                      counters = [];
-                    };
+                    { tier = m.name; try_no; verdict; took_s; detail = o.note; counters = [] };
                   attempt (try_no + 1)
             end
           in

@@ -3,10 +3,12 @@
 
 (** What happened to one harness tier try.  [Failed] covers both
     "technique gave up" and "produced an invalid mapping" (the latter
-    carries the validator's INVALID note in [detail]); [Cancelled]
-    means a sibling won the race first; [Expired] that the tier's
-    wall-clock share ran out. *)
-type verdict = Won | Mapped_lost | Failed | Cancelled | Expired
+    carries the validator's INVALID note in [detail]); [Retried] is a
+    failed try the harness immediately reran with a varied seed (only
+    a tier's final failing try stays [Failed]); [Cancelled] means a
+    sibling won the race first; [Expired] that the tier's wall-clock
+    share ran out. *)
+type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired
 
 val verdict_to_string : verdict -> string
 

@@ -1,0 +1,12 @@
+(** Monotonic time for the supervision layer.  [Ocgra_core.Deadline]
+    reads the same clock; this copy exists because lib/core depends on
+    lib/par, not the other way around. *)
+
+(** Seconds on CLOCK_MONOTONIC (arbitrary epoch; only differences are
+    meaningful). *)
+val now : unit -> float
+
+(** [sleep_unless ~until s] sleeps [s] seconds in sub-millisecond
+    slices, returning early (with [false]) as soon as [until ()] is
+    true; [true] means the full duration elapsed. *)
+val sleep_unless : until:(unit -> bool) -> float -> bool

@@ -19,7 +19,11 @@ val default_workers : unit -> int
 
 (** [run ?workers tasks] evaluates every thunk and returns their
     results in task order.  If any task raises, the first (lowest
-    index) exception is re-raised after all workers have drained.
+    index) exception is re-raised after all workers have drained —
+    the strict policy, for callers whose result is meaningless
+    without every task.  Callers that want partial results under
+    failure (campaigns, bench sweeps) run through {!Supervise}
+    instead, which retries, quarantines and never re-raises.
     [workers] is clamped to at least 1 and never exceeds the task
     count.  A live [?obs] records one span per task (on the claiming
     worker's domain lane) and a [pool.tasks.w<k>] claim counter per

@@ -33,6 +33,14 @@ let trial_class_to_string = function
   | Sdc -> "sdc"
   | Crash -> "crash"
 
+let trial_class_of_string = function
+  | "correct" -> Some Correct
+  | "masked" -> Some Masked
+  | "detected" -> Some Detected
+  | "sdc" -> Some Sdc
+  | "crash" -> Some Crash
+  | _ -> None
+
 type report = {
   trials : int;
   correct : int;
@@ -42,6 +50,7 @@ type report = {
   crash : int;
   injected : int; (* events drawn across all trials *)
   applied : int; (* events that struck live state (completed trials) *)
+  quarantined : int; (* trials whose task exhausted every supervised retry *)
 }
 
 let rate_of count r = if r.trials = 0 then 0.0 else float_of_int count /. float_of_int r.trials
@@ -50,12 +59,18 @@ let masked_rate r = rate_of r.masked r
 let detected_rate r = rate_of r.detected r
 let crash_rate r = rate_of r.crash r
 
+(* The rendering is part of the crash-safe contract: a resumed
+   campaign must print a byte-identical line, so the quarantine suffix
+   only appears when it is nonzero (a healthy run reads exactly as it
+   did before the supervision layer existed). *)
 let to_string r =
   Printf.sprintf
-    "%d trials: %d correct, %d masked, %d detected, %d SDC (%.1f%%), %d crash; %d events injected, %d applied"
+    "%d trials: %d correct, %d masked, %d detected, %d SDC (%.1f%%), %d crash; %d events injected, %d applied%s"
     r.trials r.correct r.masked r.detected r.sdc
     (100.0 *. sdc_rate r)
     r.crash r.injected r.applied
+    (if r.quarantined = 0 then ""
+     else Printf.sprintf "; %d quarantined" r.quarantined)
 
 (* Last cycle any instruction of the run can fire, so every drawn event
    lands inside the run's lifetime. *)
@@ -75,6 +90,35 @@ let classify (p : Problem.t) (m : Mapping.t) ~io ~iters ~expected ~transients =
       else if ts.Machine.corrections > 0 then (Masked, Some ts)
       else (Correct, Some ts)
 
+(* ---------- checkpoint journal ---------- *)
+
+type checkpoint = { path : string; resume : bool }
+
+(* One header line pins the campaign identity; one line per completed
+   trial carries everything the fold needs.  Both are single-line JSON
+   emitted with fixed field order, so resume can demand *exact* header
+   equality and parse trial lines with one Scanf format — no JSON
+   dependency, no ambiguity about what an old journal "roughly"
+   matches.  %h prints floats in hex notation: lossless, so a rate
+   never changes identity across write/read. *)
+let journal_header ~trials ~rate ~seed ~iters =
+  Printf.sprintf "{\"campaign\": {\"trials\": %d, \"rate\": \"%h\", \"seed\": %d, \"iters\": %d}}"
+    trials rate seed iters
+
+let journal_trial_line ~trial ~tseed (cls, injected, applied) =
+  Printf.sprintf "{\"trial\": %d, \"seed\": %d, \"class\": \"%s\", \"injected\": %d, \"applied\": %d}"
+    trial tseed (trial_class_to_string cls) injected applied
+
+let parse_trial_line line =
+  match
+    Scanf.sscanf line
+      "{\"trial\": %d, \"seed\": %d, \"class\": \"%[a-z]\", \"injected\": %d, \"applied\": %d}"
+      (fun t s c i a -> (t, s, c, i, a))
+  with
+  | exception _ -> None (* torn tail of a crashed run: absent work, not an error *)
+  | t, s, c, i, a -> (
+      match trial_class_of_string c with None -> None | Some cls -> Some (t, s, (cls, i, a)))
+
 (* [mk_io] must build a *fresh* io per trial: Store ops mutate the
    memory arrays, and a corrupted trial must not leak state into the
    next one.  (It is also called concurrently from worker domains, so
@@ -88,8 +132,30 @@ let classify (p : Problem.t) (m : Mapping.t) ~io ~iters ~expected ~transients =
    classifications land in a trial-indexed array that is folded
    sequentially.  The report is therefore bit-identical for any
    [workers], including 1; [Rng.t] itself is domain-unsafe and never
-   crosses the fan-out (see rng.mli). *)
-let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) (m : Mapping.t) ~mk_io ~iters
+   crosses the fan-out (see rng.mli).
+
+   Failure tolerance: trials run under [Ocgra_par.Supervise], so a
+   raising trial (a bug, an injected [chaos] fault) is retried with
+   seeded backoff and, only if deterministically poisonous, counted as
+   [quarantined] in the report instead of aborting the campaign — the
+   strict [Pool.run] raise-through policy no longer applies here.
+   Because a trial's record is a pure function of its pre-drawn seed,
+   a retry recomputes the identical record, which is why a chaos-laden
+   campaign whose retries mask every injection reports *exactly* the
+   chaos-free totals.
+
+   Checkpointing: with [checkpoint = Some { path; resume }] every
+   completed trial is journaled (one line, fsync'd in batches) the
+   moment it finishes, from whichever domain ran it.  With
+   [resume = true] an existing journal is replayed first: its header
+   must match this campaign exactly, every journaled seed must equal
+   the pre-drawn seed of its trial (the exactly-once-per-seed
+   guarantee), and replayed trials are skipped — never re-simulated,
+   never re-journaled — so kill -9 followed by resume folds the same
+   per-trial records in the same order and prints a byte-identical
+   report. *)
+let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) ?(retries = 2)
+    ?(chaos = Ocgra_par.Chaos.none) ?checkpoint (p : Problem.t) (m : Mapping.t) ~mk_io ~iters
     ~expected ~trials ~rate ~seed =
   if trials < 0 then invalid_arg "Reliability.run_campaign: negative trial count";
   let rng = Ocgra_util.Rng.create (0xCA4A1 lxor seed) in
@@ -98,29 +164,109 @@ let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) (m : Mappin
   for t = 0 to trials - 1 do
     seeds.(t) <- Ocgra_util.Rng.bits rng
   done;
-  let trial tseed () =
+  let header = journal_header ~trials ~rate ~seed ~iters in
+  (* trial-indexed record slots; resume pre-fills them from the journal *)
+  let completed = Array.make trials None in
+  (match checkpoint with
+  | Some { path; resume = true } -> (
+      match Ocgra_par.Journal.read_lines path with
+      | [] -> ()
+      | hd :: rest ->
+          if hd <> header then
+            invalid_arg
+              "Reliability.run_campaign: checkpoint journal does not match this campaign \
+               (different trials/rate/seed/iters?)";
+          List.iter
+            (fun line ->
+              match parse_trial_line line with
+              | None -> () (* torn line from the crash: the trial reruns *)
+              | Some (t, s, record) ->
+                  if t < 0 || t >= trials then
+                    invalid_arg "Reliability.run_campaign: journaled trial index out of range";
+                  if s <> seeds.(t) then
+                    invalid_arg
+                      "Reliability.run_campaign: journaled seed mismatch — journal belongs to \
+                       a different campaign";
+                  completed.(t) <- Some record)
+            rest)
+  | Some { resume = false; _ } | None -> ());
+  let resumed = Array.fold_left (fun n c -> if c <> None then n + 1 else n) 0 completed in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some { path; resume } ->
+        let j = Ocgra_par.Journal.open_append ~fresh:(not resume || resumed = 0) path in
+        if resumed = 0 then Ocgra_par.Journal.append j header;
+        Some j
+  in
+  let trial t _stop =
+    let tseed = seeds.(t) in
     let transients = Ocgra_arch.Cgra.inject_transients p.cgra ~seed:tseed ~horizon:hz ~rate in
     let cls, ts = classify p m ~io:(mk_io ()) ~iters ~expected ~transients in
     let applied = match ts with Some ts -> ts.Machine.applied | None -> 0 in
-    (cls, List.length transients, applied)
+    let record = (cls, List.length transients, applied) in
+    Option.iter
+      (fun j -> Ocgra_par.Journal.append j (journal_trial_line ~trial:t ~tseed record))
+      journal;
+    record
   in
-  let per_trial =
+  (* only the not-yet-journaled trials fan out; chaos draws are keyed
+     on the position in this pending array, which is itself a pure
+     function of (journal contents, campaign params) *)
+  let pending =
+    Array.of_list
+      (List.filter (fun t -> completed.(t) = None) (List.init trials (fun t -> t)))
+  in
+  let summary =
     Ocgra_obs.Ctx.span obs ~cat:"reliability" "campaign:trials" (fun () ->
-        Ocgra_par.Pool.run ?workers ~obs (Array.map trial seeds))
+        Ocgra_par.Supervise.run ?workers ~obs
+          ~policy:{ Ocgra_par.Supervise.default_policy with retries; seed = 0x5AFE lxor seed }
+          ~chaos
+          (Array.map (fun t -> trial t) pending))
   in
+  let journaled =
+    match journal with
+    | None -> 0
+    | Some j ->
+        let n = Ocgra_par.Journal.appended j - if resumed = 0 then 1 else 0 in
+        Ocgra_par.Journal.close j;
+        n
+  in
+  Array.iteri
+    (fun k t ->
+      match summary.Ocgra_par.Supervise.outcomes.(k) with
+      | Ocgra_par.Supervise.Ok record -> completed.(t) <- Some record
+      | Failed _ | Timed_out | Cancelled -> () (* stays None: quarantined below *))
+    pending;
   let report =
     Array.fold_left
-      (fun r (cls, injected, applied) ->
-        let r = { r with injected = r.injected + injected; applied = r.applied + applied } in
-        match cls with
-        | Correct -> { r with correct = r.correct + 1 }
-        | Masked -> { r with masked = r.masked + 1 }
-        | Detected -> { r with detected = r.detected + 1 }
-        | Sdc -> { r with sdc = r.sdc + 1 }
-        | Crash -> { r with crash = r.crash + 1 })
-      { trials; correct = 0; masked = 0; detected = 0; sdc = 0; crash = 0; injected = 0; applied = 0 }
-      per_trial
+      (fun r slot ->
+        match slot with
+        | None -> { r with quarantined = r.quarantined + 1 }
+        | Some (cls, injected, applied) -> (
+            let r = { r with injected = r.injected + injected; applied = r.applied + applied } in
+            match cls with
+            | Correct -> { r with correct = r.correct + 1 }
+            | Masked -> { r with masked = r.masked + 1 }
+            | Detected -> { r with detected = r.detected + 1 }
+            | Sdc -> { r with sdc = r.sdc + 1 }
+            | Crash -> { r with crash = r.crash + 1 }))
+      {
+        trials;
+        correct = 0;
+        masked = 0;
+        detected = 0;
+        sdc = 0;
+        crash = 0;
+        injected = 0;
+        applied = 0;
+        quarantined = 0;
+      }
+      completed
   in
+  Ocgra_obs.Ctx.add obs "campaign.resumed" resumed;
+  Ocgra_obs.Ctx.add obs "campaign.quarantined" report.quarantined;
+  if checkpoint <> None then Ocgra_obs.Ctx.add obs "checkpoint.journaled" journaled;
   Ocgra_obs.Ctx.add obs "campaign.trials" report.trials;
   Ocgra_obs.Ctx.add obs "campaign.correct" report.correct;
   Ocgra_obs.Ctx.add obs "campaign.masked" report.masked;

@@ -14,6 +14,9 @@ type trial_class =
 
 val trial_class_to_string : trial_class -> string
 
+(** Inverse of {!trial_class_to_string}; [None] on unknown names. *)
+val trial_class_of_string : string -> trial_class option
+
 type report = {
   trials : int;
   correct : int;
@@ -23,6 +26,9 @@ type report = {
   crash : int;
   injected : int;  (** events drawn across all trials *)
   applied : int;  (** events that struck live state (completed trials) *)
+  quarantined : int;
+      (** trials whose task kept raising through every supervised
+          retry — degraded coverage, not campaign death *)
 }
 
 val sdc_rate : report -> float
@@ -46,6 +52,16 @@ val classify :
   transients:Ocgra_arch.Fault.transient list ->
   trial_class * Machine.transient_stats option
 
+(** Crash-safe checkpointing for {!run_campaign}: journal every
+    completed trial to [path] (one JSON line, fsync'd in batches) and,
+    with [resume], replay an existing journal first — its header must
+    match the campaign exactly and every journaled seed must equal the
+    pre-drawn seed of its trial (exactly-once-per-seed), or
+    [Invalid_argument] is raised.  Replayed trials are skipped, never
+    re-simulated or re-journaled, so a SIGKILL'd campaign resumed from
+    its journal produces a byte-identical report. *)
+type checkpoint = { path : string; resume : bool }
+
 (** [run_campaign p m ~mk_io ~iters ~expected ~trials ~rate ~seed]
     executes [trials] independent seeded trials at per-(PE, cycle)
     event probability [rate], sharded across [workers] domains
@@ -56,13 +72,29 @@ val classify :
     alone.  [mk_io] must build a fresh io per trial (Store ops mutate
     memory) and is called from worker domains, so it must not close
     over unsynchronised mutable state.  Raises [Invalid_argument] on a
-    negative trial count.  [obs] records one span over the fan-out and
-    the campaign tallies ([campaign.trials], [campaign.correct],
-    [campaign.masked], [campaign.detected], [campaign.sdc],
-    [campaign.crash], [campaign.injected], [campaign.applied]). *)
+    negative trial count.
+
+    Trials run under {!Ocgra_par.Supervise}: a raising trial is
+    retried up to [retries] times (seeded backoff) and a
+    deterministically-poisonous one lands in [report.quarantined]
+    instead of aborting the campaign.  [chaos] injects seeded
+    synthetic failures/delays per (trial, try) — a trial's record is a
+    pure function of its pre-drawn seed, so retries that mask every
+    injection reproduce the chaos-free report exactly.  [checkpoint]
+    journals and resumes; see {!checkpoint}.
+
+    [obs] records one span over the fan-out, the campaign tallies
+    ([campaign.trials], [campaign.correct], [campaign.masked],
+    [campaign.detected], [campaign.sdc], [campaign.crash],
+    [campaign.injected], [campaign.applied], [campaign.resumed],
+    [campaign.quarantined], [checkpoint.journaled]) and the
+    supervision counters ([supervise.retries], [supervise.ok], ...).  *)
 val run_campaign :
   ?workers:int ->
   ?obs:Ocgra_obs.Ctx.t ->
+  ?retries:int ->
+  ?chaos:Ocgra_par.Chaos.t ->
+  ?checkpoint:checkpoint ->
   Ocgra_core.Problem.t ->
   Ocgra_core.Mapping.t ->
   mk_io:(unit -> Machine.io) ->

@@ -63,4 +63,33 @@ grep -q '"mapper.runs"' "$TMPD/metrics.json"
   --metrics "$TMPD/m2.metrics" > /dev/null
 cmp "$TMPD/m1.metrics" "$TMPD/m2.metrics"
 
+# supervised chaos: injected task failures at 10% with retries must be
+# fully masked — the campaign line is byte-identical to the clean run,
+# and the supervision counters show the retries actually happened
+CLEAN=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 4 | grep "campaign (")
+CHAOS=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 4 --chaos 0.1 --retries 3 \
+  --metrics "$TMPD/chaos.json" | grep "campaign (")
+[ "$CLEAN" = "$CHAOS" ]
+grep -q '"supervise.retries"' "$TMPD/chaos.json"
+grep -q '"chaos.failures"' "$TMPD/chaos.json"
+
+# crash-safe checkpointing: SIGKILL a journaled campaign mid-run, then
+# --resume must replay the journal, finish the remainder and reproduce
+# the byte-identical report of an uninterrupted run
+REF=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20000 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 2 | grep "campaign (")
+"$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20000 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 2 \
+  --checkpoint "$TMPD/campaign.jsonl" > /dev/null 2>&1 &
+CPID=$!
+sleep 0.6
+kill -9 "$CPID" 2> /dev/null || true
+wait "$CPID" 2> /dev/null || true
+RES=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20000 \
+  --fault-rate 0.002 --fault-seed 11 --jobs 2 \
+  --checkpoint "$TMPD/campaign.jsonl" --resume | grep "campaign (")
+[ "$REF" = "$RES" ]
+
 echo "smoke OK"

@@ -87,6 +87,55 @@ let test_deadline_sooner () =
   let tight = Deadline.sooner (Deadline.after ~seconds:1000.0) (Deadline.after ~seconds:(-1.0)) in
   checkb "min of two expiries" true (Deadline.expired tight)
 
+(* The composition edge cases the supervision layer leans on: expired
+   inputs, double-cancel hooks, clamping — each must survive [sooner]
+   without resurrecting a dead deadline or losing a live hook. *)
+let test_deadline_sooner_edge_cases () =
+  (* both sides already expired: still expired, remaining clamps to 0 *)
+  let dead = Deadline.sooner (Deadline.after ~seconds:(-5.0)) (Deadline.after ~seconds:(-1.0)) in
+  checkb "both expired stays expired" true (Deadline.expired dead);
+  (match Deadline.remaining_s dead with
+  | Some r -> checkb "remaining clamped at zero" true (r = 0.0)
+  | None -> Alcotest.fail "sooner of two finite deadlines lost the clock");
+  (* one side expired at composition time: the result is born expired *)
+  let born_dead = Deadline.sooner Deadline.none (Deadline.after ~seconds:(-1.0)) in
+  checkb "expired side dominates none" true (Deadline.expired born_dead);
+  checkb "an expired component is not a cancellation" false (Deadline.cancelled born_dead);
+  (* none/none: never expires, no clock to report *)
+  let never = Deadline.sooner Deadline.none Deadline.none in
+  checkb "none of none" false (Deadline.expired never);
+  checkb "no clock view" true (Deadline.remaining_s never = None);
+  (* hooks on both sides OR together across the composition *)
+  let ca = Par.Cancel.create () and cb = Par.Cancel.create () in
+  let s =
+    Deadline.sooner
+      (Deadline.with_cancel (Deadline.after ~seconds:1000.0) (Par.Cancel.hook ca))
+      (Deadline.with_cancel Deadline.none (Par.Cancel.hook cb))
+  in
+  checkb "neither hook fired" false (Deadline.expired s);
+  Par.Cancel.set cb;
+  checkb "second side's hook cancels the composite" true (Deadline.cancelled s);
+  Par.Cancel.set ca;
+  checkb "both set stays cancelled" true (Deadline.cancelled s);
+  (* stacking with_cancel twice ORs, never replaces *)
+  let c1 = Par.Cancel.create () and c2 = Par.Cancel.create () in
+  let stacked =
+    Deadline.with_cancel (Deadline.with_cancel Deadline.none (Par.Cancel.hook c1))
+      (Par.Cancel.hook c2)
+  in
+  Par.Cancel.set c1;
+  checkb "inner hook survives the outer attach" true (Deadline.cancelled stacked);
+  (* should_stop observes composed cancellation like expiry *)
+  let c3 = Par.Cancel.create () in
+  let polled =
+    Deadline.sooner (Deadline.after ~seconds:1000.0)
+      (Deadline.with_cancel Deadline.none (Par.Cancel.hook c3))
+  in
+  let stop = Deadline.should_stop polled in
+  checkb "hook not fired: polling says go" false (stop ());
+  Par.Cancel.set c3;
+  checkb "polling sees the composed cancel" true (stop ())
+
 (* ---------- racing mappers ---------- *)
 
 let greedy () = Ocgra_mappers.Registry.find "modulo-greedy"
@@ -266,6 +315,7 @@ let () =
         [
           Alcotest.test_case "cancel flag" `Quick test_cancel_flag;
           Alcotest.test_case "sooner" `Quick test_deadline_sooner;
+          Alcotest.test_case "sooner edge cases" `Quick test_deadline_sooner_edge_cases;
         ] );
       ( "race",
         [

@@ -1,0 +1,347 @@
+(* Supervised execution tests: per-task outcomes instead of
+   raise-through, bounded seeded retries that mask injected chaos,
+   quarantine of deterministically-poisonous tasks, cooperative
+   cancellation (including mid-backoff), per-try watchdogs (including
+   firing mid-retry), and the crash-safe campaign checkpoint: journal,
+   SIGKILL-shaped truncation, exactly-once-per-seed resume with a
+   byte-identical report. *)
+
+open Ocgra_core
+module Par = Ocgra_par
+module Supervise = Par.Supervise
+module Chaos = Par.Chaos
+module Journal = Par.Journal
+module Kernels = Ocgra_workloads.Kernels
+module Machine = Ocgra_sim.Machine
+module Reliability = Ocgra_sim.Reliability
+module Eval = Ocgra_dfg.Eval
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let live_obs () =
+  let metrics = Ocgra_obs.Metrics.create () in
+  (Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics, metrics)
+
+let counter metrics name =
+  match List.assoc_opt name (Ocgra_obs.Metrics.dump metrics) with Some v -> v | None -> 0
+
+(* ---------- outcomes ---------- *)
+
+let test_all_ok_parity () =
+  let tasks = Array.init 24 (fun i (_stop : unit -> bool) -> (i * i) + 1) in
+  let s = Supervise.run ~workers:4 tasks in
+  checki "no extra tries" 0 s.Supervise.retried;
+  checkb "nothing quarantined" true (s.Supervise.quarantined = []);
+  checkb "one try per task" true (Array.for_all (fun t -> t = 1) s.Supervise.tries);
+  checkb "payloads in task order" true
+    (Supervise.ok_results s = Array.to_list (Array.init 24 (fun i -> (i * i) + 1)))
+
+let test_poison_task_quarantined () =
+  let tasks =
+    Array.init 9 (fun i (_stop : unit -> bool) ->
+        if i = 5 then failwith "poison" else i * 10)
+  in
+  let obs, metrics = live_obs () in
+  let s = Supervise.run ~workers:3 ~obs tasks in
+  checkb "poison slot failed" true
+    (match s.Supervise.outcomes.(5) with
+    | Supervise.Failed (Failure msg) -> msg = "poison"
+    | _ -> false);
+  checkb "quarantine names exactly the poison task" true (s.Supervise.quarantined = [ 5 ]);
+  checki "tries bounded by the policy" (1 + Supervise.default_policy.Supervise.retries)
+    s.Supervise.tries.(5);
+  checki "everyone else answered" 8 (List.length (Supervise.ok_results s));
+  checkb "degraded results in order" true
+    (Supervise.ok_results s = [ 0; 10; 20; 30; 40; 60; 70; 80 ]);
+  checki "quarantine counter" 1 (counter metrics "supervise.quarantined");
+  checki "retry counter matches summary" s.Supervise.retried (counter metrics "supervise.retries")
+
+let test_negative_retries_rejected () =
+  Alcotest.check_raises "negative retry count"
+    (Invalid_argument "Supervise.run: negative retry count") (fun () ->
+      ignore
+        (Supervise.run
+           ~policy:{ Supervise.default_policy with Supervise.retries = -1 }
+           [| (fun _ -> ()) |]))
+
+(* ---------- chaos masked by retries ---------- *)
+
+let test_chaos_masked_by_retries () =
+  let n = 48 in
+  let tasks = Array.init n (fun i (_stop : unit -> bool) -> i + 100) in
+  let chaos = Chaos.make ~fail_rate:0.2 ~seed:2026 () in
+  let policy = { Supervise.default_policy with Supervise.retries = 3 } in
+  let run workers = Supervise.run ~workers ~policy ~chaos tasks in
+  let s = run 1 in
+  checkb "chaos actually fired" true (s.Supervise.retried > 0);
+  checkb "every injection was masked" true (s.Supervise.quarantined = []);
+  checkb "all payloads intact" true
+    (Supervise.ok_results s = Array.to_list (Array.init n (fun i -> i + 100)));
+  (* the fault pattern is keyed on (seed, task, try), so the whole
+     summary is worker-count invariant *)
+  List.iter
+    (fun w ->
+      let sw = run w in
+      checkb
+        (Printf.sprintf "workers=%d: identical outcomes" w)
+        true
+        (sw.Supervise.outcomes = s.Supervise.outcomes
+        && sw.Supervise.tries = s.Supervise.tries
+        && sw.Supervise.retried = s.Supervise.retried))
+    [ 2; 4 ]
+
+let test_chaos_determinism () =
+  let mk () = Array.init 16 (fun i (_stop : unit -> bool) -> i) in
+  let chaos = Chaos.make ~fail_rate:0.5 ~seed:77 () in
+  let policy = { Supervise.default_policy with Supervise.retries = 1 } in
+  let a = Supervise.run ~workers:4 ~policy ~chaos (mk ()) in
+  let b = Supervise.run ~workers:4 ~policy ~chaos (mk ()) in
+  checkb "same seed, same summary" true
+    (a.Supervise.outcomes = b.Supervise.outcomes
+    && a.Supervise.tries = b.Supervise.tries
+    && a.Supervise.quarantined = b.Supervise.quarantined)
+
+(* ---------- cancellation ---------- *)
+
+let test_preset_cancel_runs_nothing () =
+  let ran = Atomic.make 0 in
+  let cancel = Par.Cancel.create () in
+  Par.Cancel.set cancel;
+  let tasks =
+    Array.init 8 (fun i (_stop : unit -> bool) ->
+        Atomic.incr ran;
+        i)
+  in
+  let s = Supervise.run ~workers:4 ~cancel tasks in
+  checkb "all cancelled" true
+    (Array.for_all (function Supervise.Cancelled -> true | _ -> false) s.Supervise.outcomes);
+  checki "no task body ran" 0 (Atomic.get ran);
+  checkb "no tries started" true (Array.for_all (fun t -> t = 0) s.Supervise.tries);
+  checkb "cancelled tasks are not quarantined" true (s.Supervise.quarantined = [])
+
+let test_cancel_interrupts_backoff () =
+  (* an always-failing task facing a 5 s backoff: only the cancel
+     fired from another domain can end the run quickly *)
+  let cancel = Par.Cancel.create () in
+  let canceller =
+    Domain.spawn (fun () ->
+        ignore (Par.Clock.sleep_unless ~until:(fun () -> false) 0.2);
+        Par.Cancel.set cancel)
+  in
+  let policy =
+    { Supervise.default_policy with Supervise.retries = 5; backoff_s = 5.0; jitter = 0.0 }
+  in
+  let t0 = Par.Clock.now () in
+  let s = Supervise.run ~workers:1 ~policy ~cancel [| (fun _stop -> failwith "always") |] in
+  let dt = Par.Clock.now () -. t0 in
+  Domain.join canceller;
+  checkb
+    (Printf.sprintf "backoff sleep was interrupted (%.2fs)" dt)
+    true (dt < 3.0);
+  checkb "outcome is Cancelled, not Failed" true
+    (s.Supervise.outcomes.(0) = Supervise.Cancelled)
+
+(* ---------- watchdogs ---------- *)
+
+let spin_until_stop stop =
+  let t0 = Par.Clock.now () in
+  while (not (stop ())) && Par.Clock.now () -. t0 < 10.0 do
+    Domain.cpu_relax ()
+  done;
+  if stop () then failwith "stopped" else failwith "spun to the cap"
+
+let test_watchdog_times_out () =
+  let policy =
+    {
+      Supervise.default_policy with
+      Supervise.retries = 1;
+      backoff_s = 0.001;
+      timeout_s = Some 0.03;
+    }
+  in
+  let s = Supervise.run ~workers:1 ~policy [| spin_until_stop |] in
+  checkb "classified Timed_out" true (s.Supervise.outcomes.(0) = Supervise.Timed_out);
+  checkb "quarantined" true (s.Supervise.quarantined = [ 0 ]);
+  checki "watchdog restarts per try" 2 s.Supervise.tries.(0)
+
+let test_watchdog_fires_mid_retry () =
+  (* try 0 fails fast; the watchdog only fires on the retry — the
+     fresh per-try deadline must get the blame, and a later clean try
+     must still win *)
+  let tries_seen = Atomic.make 0 in
+  let task stop =
+    let k = Atomic.fetch_and_add tries_seen 1 in
+    if k = 0 then failwith "fast failure"
+    else if k = 1 then spin_until_stop stop
+    else 42
+  in
+  let policy =
+    {
+      Supervise.default_policy with
+      Supervise.retries = 2;
+      backoff_s = 0.001;
+      timeout_s = Some 0.03;
+    }
+  in
+  let s = Supervise.run ~workers:1 ~policy [| task |] in
+  checkb "timed-out retry still retried, then recovered" true
+    (s.Supervise.outcomes.(0) = Supervise.Ok 42);
+  checki "three tries: fail, time out, succeed" 3 s.Supervise.tries.(0);
+  checki "task saw every try" 3 (Atomic.get tries_seen)
+
+let test_chaos_timeout_storm () =
+  (* injected delays longer than the watchdog: every try is cut short
+     mid-delay, so the whole task set quarantines as Timed_out instead
+     of aborting the run *)
+  let chaos = Chaos.make ~delay_rate:1.0 ~delay_s:0.5 ~seed:3 () in
+  let policy =
+    {
+      Supervise.default_policy with
+      Supervise.retries = 1;
+      backoff_s = 0.001;
+      timeout_s = Some 0.02;
+    }
+  in
+  let tasks = Array.init 4 (fun i (_stop : unit -> bool) -> i) in
+  let s = Supervise.run ~workers:2 ~policy ~chaos tasks in
+  checkb "every task timed out" true
+    (Array.for_all (fun o -> o = Supervise.Timed_out) s.Supervise.outcomes);
+  checkb "all quarantined, run completed" true (s.Supervise.quarantined = [ 0; 1; 2; 3 ])
+
+(* ---------- campaign: chaos equivalence and checkpointing ---------- *)
+
+let cgra33 = Ocgra_arch.Cgra.uniform ~rows:3 ~cols:3 ()
+
+let campaign_setup kernel =
+  let k = Kernels.find kernel in
+  let p = Problem.temporal ~init:k.Kernels.init ~dfg:k.Kernels.dfg ~cgra:cgra33 () in
+  let o = Mapper.run (Ocgra_mappers.Registry.find "modulo-greedy") ~seed:42 p in
+  let m =
+    match o.Mapper.mapping with
+    | Some m -> m
+    | None -> Alcotest.fail ("mapping failed: " ^ o.Mapper.note)
+  in
+  let iters = 6 in
+  let mk_io () = Machine.io_of_streams ~memory:k.Kernels.memory (k.Kernels.inputs iters) in
+  let reference = Kernels.eval_reference k ~iters in
+  let expected = List.map (fun n -> (n, Eval.output_stream reference n)) k.Kernels.outputs in
+  (p, m, iters, mk_io, expected)
+
+let test_campaign_chaos_equals_chaos_free () =
+  let p, m, iters, mk_io, expected = campaign_setup "saxpy" in
+  let camp ?chaos () =
+    Reliability.run_campaign ~workers:4 ~retries:3 ?chaos p m ~mk_io ~iters ~expected
+      ~trials:40 ~rate:0.004 ~seed:11
+  in
+  let clean = camp () in
+  let chaotic = camp ~chaos:(Chaos.make ~fail_rate:0.1 ~seed:5 ()) () in
+  checkb "campaign saw real faults too" true (clean.Reliability.injected > 0);
+  checki "nothing quarantined: every injection was masked" 0
+    chaotic.Reliability.quarantined;
+  checkb "chaotic report identical to chaos-free" true (chaotic = clean)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "ocgra-journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_campaign_checkpoint_resume_identical () =
+  let p, m, iters, mk_io, expected = campaign_setup "saxpy" in
+  let camp ?checkpoint () =
+    Reliability.run_campaign ~workers:2 ?checkpoint p m ~mk_io ~iters ~expected ~trials:24
+      ~rate:0.004 ~seed:11
+  in
+  let straight = camp () in
+  with_temp_journal (fun path ->
+      let first = camp ~checkpoint:{ Reliability.path; resume = false } () in
+      checkb "journaled run matches plain run" true (first = straight);
+      checki "header + one line per trial" 25 (List.length (Journal.read_lines path));
+      (* resume over the complete journal: nothing re-simulated *)
+      let obs, metrics = live_obs () in
+      let resumed =
+        Reliability.run_campaign ~workers:2 ~obs
+          ~checkpoint:{ Reliability.path; resume = true } p m ~mk_io ~iters ~expected
+          ~trials:24 ~rate:0.004 ~seed:11
+      in
+      checkb "full replay is byte-identical" true (resumed = straight);
+      checki "every trial replayed from the journal" 24 (counter metrics "campaign.resumed");
+      checki "nothing re-journaled" 0 (counter metrics "checkpoint.journaled"))
+
+let test_campaign_resume_after_torn_crash () =
+  let p, m, iters, mk_io, expected = campaign_setup "absdiff" in
+  let camp ?checkpoint () =
+    Reliability.run_campaign ~workers:2 ?checkpoint p m ~mk_io ~iters ~expected ~trials:24
+      ~rate:0.004 ~seed:13
+  in
+  let straight = camp () in
+  with_temp_journal (fun path ->
+      ignore (camp ~checkpoint:{ Reliability.path; resume = false } ());
+      (* SIGKILL shape: keep the header + 9 trials, tear the 10th *)
+      let lines = Journal.read_lines path in
+      let keep = List.filteri (fun i _ -> i < 10) lines in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+      output_string oc "{\"trial\": 99, \"se";
+      close_out oc;
+      let obs, metrics = live_obs () in
+      let resumed =
+        Reliability.run_campaign ~workers:2 ~obs
+          ~checkpoint:{ Reliability.path; resume = true } p m ~mk_io ~iters ~expected
+          ~trials:24 ~rate:0.004 ~seed:13
+      in
+      checkb "resume after crash reproduces the report" true (resumed = straight);
+      checki "nine trials replayed, torn line dropped" 9 (counter metrics "campaign.resumed");
+      checki "the other fifteen re-simulated and journaled" 15
+        (counter metrics "checkpoint.journaled");
+      checkb "journal is complete again" true (List.length (Journal.read_lines path) = 25))
+
+let test_campaign_resume_rejects_mismatched_header () =
+  let p, m, iters, mk_io, expected = campaign_setup "saxpy" in
+  with_temp_journal (fun path ->
+      ignore
+        (Reliability.run_campaign ~workers:2
+           ~checkpoint:{ Reliability.path; resume = false } p m ~mk_io ~iters ~expected
+           ~trials:8 ~rate:0.004 ~seed:11);
+      checkb "different rate refuses the journal" true
+        (try
+           ignore
+             (Reliability.run_campaign ~workers:2
+                ~checkpoint:{ Reliability.path; resume = true } p m ~mk_io ~iters ~expected
+                ~trials:8 ~rate:0.005 ~seed:11);
+           false
+         with Invalid_argument _ -> true))
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "all-ok parity" `Quick test_all_ok_parity;
+          Alcotest.test_case "poison quarantined" `Quick test_poison_task_quarantined;
+          Alcotest.test_case "negative retries rejected" `Quick test_negative_retries_rejected;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "masked by retries" `Quick test_chaos_masked_by_retries;
+          Alcotest.test_case "seeded determinism" `Quick test_chaos_determinism;
+          Alcotest.test_case "timeout storm" `Quick test_chaos_timeout_storm;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "pre-set cancel" `Quick test_preset_cancel_runs_nothing;
+          Alcotest.test_case "interrupts backoff" `Quick test_cancel_interrupts_backoff;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "times out" `Quick test_watchdog_times_out;
+          Alcotest.test_case "fires mid-retry" `Quick test_watchdog_fires_mid_retry;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "chaos == chaos-free" `Slow test_campaign_chaos_equals_chaos_free;
+          Alcotest.test_case "full-journal replay" `Quick test_campaign_checkpoint_resume_identical;
+          Alcotest.test_case "resume after torn crash" `Quick test_campaign_resume_after_torn_crash;
+          Alcotest.test_case "mismatched header rejected" `Quick
+            test_campaign_resume_rejects_mismatched_header;
+        ] );
+    ]
