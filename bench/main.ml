@@ -15,6 +15,7 @@ module Kernels = Ocgra_workloads.Kernels
 let args = List.tl (Array.to_list Sys.argv)
 let quick = List.mem "quick" args
 let t1b_only = List.mem "t1b-only" args
+let repair_only = List.mem "repair-only" args
 let bench_resume = List.mem "resume" args
 
 let bench_journal =
@@ -293,6 +294,143 @@ let t1b () =
   | [] -> ()
   | q -> Printf.printf "  quarantined: %d cell(s) kept failing and print as ERR\n" (List.length q));
   print_endline "  machine-readable sweep written to BENCH_PR6.json"
+
+(* ------------------------------------------------------------------ *)
+(* PR7: repair ladder vs cold remap under escalating faults            *)
+(* ------------------------------------------------------------------ *)
+
+(* One survivor walk per kernel: escalating seeded permanent faults,
+   each step salvaged by the certified repair ladder *and* cold-solved
+   from scratch on the same mask, so every step prices the incremental
+   path against the full remap it replaces.  The machine-readable
+   snapshot (BENCH_PR7.json) carries per-step rung/II/time records and
+   two medians: over all surviving steps, and over the incremental
+   rungs only (untouched excluded — those are free by construction). *)
+
+let median_of floats =
+  match List.sort compare floats with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      Some ((List.nth sorted ((n - 1) / 2) +. List.nth sorted (n / 2)) /. 2.0)
+
+let write_repair_json path ~seed ~steps_per_kernel results =
+  let step_records =
+    List.concat_map
+      (fun (kernel, rep) ->
+        List.map
+          (fun (s : Ocgra_sim.Reliability.survivor_step) -> (kernel, s))
+          rep.Ocgra_sim.Reliability.steps)
+      results
+  in
+  let ratios pred =
+    List.filter_map
+      (fun ((_, s) : string * Ocgra_sim.Reliability.survivor_step) ->
+        match (s.rung, s.scratch_s) with
+        | Some r, Some sc when pred r && s.repair_s > 0.0 -> Some (sc /. s.repair_s)
+        | _ -> None)
+      step_records
+  in
+  let med_all = median_of (ratios (fun _ -> true)) in
+  let med_incr =
+    median_of
+      (ratios (function
+        | Ocgra_core.Mapper.Route_only | Ocgra_core.Mapper.Local_replace -> true
+        | _ -> false))
+  in
+  let certified =
+    List.length (List.filter (fun (_, (s : Ocgra_sim.Reliability.survivor_step)) -> s.rung <> None) step_records)
+  in
+  let fnum = function None -> "null" | Some x -> Printf.sprintf "%.2f" x in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Printf.sprintf "{\n\"bench\": \"repair-ladder\",\n\"seed\": %d,\n\"steps_per_kernel\": %d,\n\"steps\": [\n"
+           seed steps_per_kernel);
+      List.iteri
+        (fun i (kernel, (s : Ocgra_sim.Reliability.survivor_step)) ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc
+            (Printf.sprintf
+               "{\"kernel\": \"%s\", \"step\": %d, \"rung\": %s, \"ii\": %s, \"replayed\": %b, \
+                \"repair_s\": %.6f, \"scratch_s\": %s, \"speedup\": %s}"
+               (json_escape kernel) s.step
+               (match s.rung with
+               | Some r -> Printf.sprintf "\"%s\"" (Ocgra_core.Mapper.rung_to_string r)
+               | None -> "null")
+               (match s.ii with Some ii -> string_of_int ii | None -> "null")
+               s.replayed s.repair_s
+               (match s.scratch_s with Some sc -> Printf.sprintf "%.6f" sc | None -> "null")
+               (match (s.rung, s.scratch_s) with
+               | Some _, Some sc when s.repair_s > 0.0 -> Printf.sprintf "%.2f" (sc /. s.repair_s)
+               | _ -> "null")))
+        step_records;
+      output_string oc
+        (Printf.sprintf
+           "\n],\n\"summary\": {\"kernels\": %d, \"steps\": %d, \"certified\": %d, \
+            \"median_speedup_all\": %s, \"median_speedup_incremental\": %s}\n}\n"
+           (List.length results) (List.length step_records) certified (fnum med_all)
+           (fnum med_incr)));
+  (med_all, med_incr)
+
+let repair_bench () =
+  section "Repair ladder: incremental salvage vs cold remap under escalating faults";
+  let kernels =
+    [
+      Kernels.dot_product (); Kernels.saxpy (); Kernels.fir4 (); Kernels.sobel_row ();
+      Kernels.absdiff ();
+    ]
+  in
+  let chain = [ Ocgra_mappers.Registry.find "modulo-greedy" ] in
+  let iters = 8 and steps = 10 and seed = 1 in
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:4 ~cols:4 () in
+  let results =
+    List.filter_map
+      (fun (k : Kernels.t) ->
+        let p = Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:12 () in
+        let o = Ocgra_core.Mapper.run (List.hd chain) ~seed:7 p in
+        match o.mapping with
+        | None -> None
+        | Some m ->
+            let mk_io () = Ocgra_sim.Machine.io_of_streams ~memory:k.memory (k.inputs iters) in
+            let reference = Kernels.eval_reference k ~iters in
+            let expected =
+              List.map
+                (fun name -> (name, Ocgra_dfg.Eval.output_stream reference name))
+                k.outputs
+            in
+            let rep =
+              Ocgra_sim.Reliability.run_survivor ~workers:1 ~chain p m ~mk_io ~iters ~expected
+                ~steps ~seed
+            in
+            Some (k.name, rep))
+      kernels
+  in
+  let rows =
+    List.map
+      (fun (name, (rep : Ocgra_sim.Reliability.survivor_report)) ->
+        [|
+          name;
+          string_of_int rep.survived;
+          (match rep.certified_failure with Some k -> string_of_int k | None -> "-");
+          (match (rep.ii_curve, List.rev rep.ii_curve) with
+          | (_, ii0) :: _, (_, iin) :: _ -> Printf.sprintf "%d -> %d" ii0 iin
+          | _ -> "-");
+          (match rep.repair_vs_scratch with Some x -> Printf.sprintf "%.1fx" x | None -> "-");
+        |])
+      results
+  in
+  Table.print
+    ~headers:[| "kernel"; "survived"; "failure at"; "II curve"; "repair vs scratch" |]
+    rows;
+  let med_all, med_incr = write_repair_json "BENCH_PR7.json" ~seed ~steps_per_kernel:steps results in
+  Printf.printf "  median speedup, all surviving steps: %s\n"
+    (match med_all with Some x -> Printf.sprintf "%.1fx" x | None -> "-");
+  Printf.printf "  median speedup, incremental rungs (route-only/re-place): %s\n"
+    (match med_incr with Some x -> Printf.sprintf "%.1fx" x | None -> "-");
+  print_endline "  machine-readable walk written to BENCH_PR7.json"
 
 (* ------------------------------------------------------------------ *)
 (* F1: architecture-class comparison                                   *)
@@ -801,6 +939,7 @@ let run_everything () =
   ab_ii_vs_size ();
   f1 ();
   t1b ();
+  repair_bench ();
   ab_exact_scaling ();
   bechamel_suite ();
   print_endline "\nAll artifacts regenerated."
@@ -809,5 +948,9 @@ let () =
   if t1b_only then begin
     t1b ();
     print_endline "\nEmpirical sweep regenerated."
+  end
+  else if repair_only then begin
+    repair_bench ();
+    print_endline "\nRepair-ladder walk regenerated."
   end
   else run_everything ()

@@ -118,6 +118,30 @@ let resume_t =
           "Replay the $(b,--checkpoint) journal before running: completed trials are skipped and \
            the final report is byte-identical to an uninterrupted run.")
 
+let repair_t =
+  Arg.(
+    value & opt int 0
+    & info [ "repair" ]
+        ~doc:
+          "After mapping, degrade the array to $(docv) more faults (same $(b,--fault-seed) \
+           sequence, so the new mask contains the old one) and salvage the mapping through the \
+           certified repair ladder instead of remapping cold.")
+
+let survivor_t =
+  Arg.(
+    value & opt int 0
+    & info [ "survivor" ]
+        ~doc:
+          "Survivor campaign: walk $(docv) escalating seeded permanent faults, at each step \
+           repairing the previous mapping through the certified ladder and replaying it on the \
+           simulator; reports the II-degradation curve, repair-vs-scratch time ratio and the \
+           certified failure point.")
+
+let chain_of mapper fallback =
+  match fallback with
+  | Some spec -> Ocgra_mappers.Registry.chain_of_spec spec
+  | None -> [ Ocgra_mappers.Registry.find mapper ]
+
 let trace_t =
   Arg.(
     value
@@ -199,7 +223,7 @@ let problem_of kernel spatial cgra =
 
 let map_cmd =
   let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback
-      retries jobs trace metrics =
+      retries repair jobs trace metrics =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
@@ -220,17 +244,48 @@ let map_cmd =
         (fun r -> Printf.printf "  %s\n" (Ocgra_core.Mapper.report_to_string r))
         o.trail
     end;
+    (* --repair: degrade the same fabric further (the seeded draw is
+       sequential, so the escalated mask contains the original one) and
+       salvage the mapping we just printed through the ladder *)
+    (match (o.mapping, repair > 0) with
+    | Some mapping, true ->
+        let base = mk_cgra rows cols topo hetero 0 fault_seed in
+        let mask = Ocgra_arch.Cgra.inject_faults base ~seed:fault_seed ~n:(faults + repair) in
+        let cgra' = Ocgra_arch.Cgra.with_faults base mask in
+        let p' = { p with Ocgra_core.Problem.cgra = cgra' } in
+        Printf.printf "repair: degrading to %s\n" (Ocgra_arch.Fault.list_to_string mask);
+        let r =
+          Ocgra_core.Repair.repair ~seed
+            ~deadline:(Ocgra_core.Deadline.of_seconds deadline)
+            ~obs
+            ~fallback:(chain_of mapper fallback)
+            ~workers:(resolve_jobs jobs) p' mapping
+        in
+        Printf.printf "diagnosis: %s\n"
+          (Ocgra_core.Repair.diagnosis_to_string r.Ocgra_core.Repair.diagnosis);
+        (match r.Ocgra_core.Repair.mapping with
+        | Some m' ->
+            Printf.printf "repaired: %s in %.3fs (%s)\n"
+              (Ocgra_core.Cost.to_string (Ocgra_core.Cost.of_mapping p' m'))
+              r.Ocgra_core.Repair.elapsed_s r.Ocgra_core.Repair.note;
+            print_string (Ocgra_core.Mapping.to_grid m' k.dfg cgra')
+        | None -> Printf.printf "repair failed: %s\n" r.Ocgra_core.Repair.note);
+        Printf.printf "rungs:\n";
+        List.iter
+          (fun tr -> Printf.printf "  %s\n" (Ocgra_core.Mapper.report_to_string tr))
+          r.Ocgra_core.Repair.trail
+    | _ -> ());
     write_obs obs trace metrics
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
-      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ retries_t $ jobs_t $ trace_t
-      $ metrics_t)
+      $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ retries_t $ repair_t $ jobs_t
+      $ trace_t $ metrics_t)
 
 let sim_cmd =
   let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
-      campaign fault_rate retries chaos checkpoint resume jobs trace metrics =
+      campaign fault_rate retries chaos checkpoint resume survivor jobs trace metrics =
     let obs = mk_obs trace metrics in
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
@@ -330,6 +385,22 @@ let sim_cmd =
                     Printf.printf "hardening overhead: %s\n"
                       (Ocgra_sim.Reliability.overhead_to_string ov)
               end
+            end;
+            if survivor > 0 then begin
+              (* escalating permanent faults, each step salvaged by the
+                 certified ladder and replayed on the simulator *)
+              let rep =
+                Ocgra_sim.Reliability.run_survivor ~workers:(resolve_jobs jobs) ~obs
+                  ?step_deadline_s:deadline
+                  ~chain:(chain_of mapper fallback)
+                  p mapping ~mk_io ~iters ~expected ~steps:survivor ~seed:fault_seed
+              in
+              List.iter
+                (fun s ->
+                  Printf.printf "  %s\n" (Ocgra_sim.Reliability.survivor_step_to_string s))
+                rep.Ocgra_sim.Reliability.steps;
+              Printf.printf "survivor (seed %d): %s\n" fault_seed
+                (Ocgra_sim.Reliability.survivor_to_string rep)
             end));
     write_obs obs trace metrics
   in
@@ -338,7 +409,7 @@ let sim_cmd =
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t
-      $ retries_t $ chaos_t $ checkpoint_t $ resume_t $ jobs_t $ trace_t $ metrics_t)
+      $ retries_t $ chaos_t $ checkpoint_t $ resume_t $ survivor_t $ jobs_t $ trace_t $ metrics_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in

@@ -18,7 +18,7 @@ type t = {
 
 let make ?(name = "cgra") ?(faults = []) ~rows ~cols ~topology pes =
   if Array.length pes <> rows * cols then invalid_arg "Cgra.make: wrong PE count";
-  { rows; cols; topology; pes; name; faults = List.sort_uniq Fault.compare faults }
+  { rows; cols; topology; pes; name; faults = Fault.canonical faults }
 
 let pe_count t = t.rows * t.cols
 let pe t i = t.pes.(i)
@@ -28,7 +28,7 @@ let index t ~row ~col = (row * t.cols) + col
 (* ---------- Fault queries ---------- *)
 
 let faults t = t.faults
-let with_faults t faults = { t with faults = List.sort_uniq Fault.compare faults }
+let with_faults t faults = { t with faults = Fault.canonical faults }
 
 let pe_ok t i =
   not (List.exists (function Fault.Pe_down j -> j = i | _ -> false) t.faults)

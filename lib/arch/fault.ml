@@ -26,10 +26,18 @@ let to_string = function
   | Fu_slot_dead (pe, slot) -> Printf.sprintf "fu-slot-dead pe %d slot %d" pe slot
   | Rf_reduced (pe, lost) -> Printf.sprintf "rf-reduced pe %d by %d" pe lost
 
+(* The canonical form of a fault mask: duplicates dropped, constructor
+   then coordinate order.  Every mask that reaches a [Cgra.t] (and every
+   rendering) goes through this, so two masks built from differently
+   ordered or repeated injections are structurally equal, render the
+   same text, and hash the same — a cache or journal keyed on the mask
+   never sees two names for one degradation. *)
+let canonical faults = List.sort_uniq compare faults
+
 let list_to_string faults =
-  match faults with
+  match canonical faults with
   | [] -> "none"
-  | _ -> String.concat ", " (List.map to_string faults)
+  | faults -> String.concat ", " (List.map to_string faults)
 
 (* ---------- transient events ----------
 

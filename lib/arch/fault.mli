@@ -19,7 +19,14 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val to_string : t -> string
 
-(** Comma-separated rendering; ["none"] for the empty list. *)
+(** Canonical form of a fault mask: deduplicated and sorted (constructor
+    then coordinates).  Identical masks are structurally equal, render
+    identically and hash identically regardless of injection order;
+    {!Cgra.with_faults} and {!list_to_string} both apply it. *)
+val canonical : t list -> t list
+
+(** Comma-separated rendering of the {!canonical} form; ["none"] for the
+    empty list. *)
 val list_to_string : t list -> string
 
 (** {2 Transient events}

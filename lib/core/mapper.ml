@@ -24,7 +24,28 @@ module Obs = Ocgra_obs.Ctx
    (only final tries stay [Failed]); [Cancelled] means the tier was
    told to stop because a sibling already won; [Expired] that its
    wall-clock share ran out first. *)
-type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired
+(* The rungs of [Repair]'s escalation ladder, cheapest first.  They
+   live here (not in [Repair]) so a [verdict] can carry which rung
+   certified a salvaged mapping — [Repair] itself depends on this
+   module for its harness fallback. *)
+type rung = Untouched | Route_only | Local_replace | Ii_bump | Full_fallback
+
+let rung_to_string = function
+  | Untouched -> "untouched"
+  | Route_only -> "route-only"
+  | Local_replace -> "re-place"
+  | Ii_bump -> "ii-bump"
+  | Full_fallback -> "fallback"
+
+let rung_of_string = function
+  | "untouched" -> Some Untouched
+  | "route-only" -> Some Route_only
+  | "re-place" -> Some Local_replace
+  | "ii-bump" -> Some Ii_bump
+  | "fallback" -> Some Full_fallback
+  | _ -> None
+
+type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired | Repaired of rung
 
 let verdict_to_string = function
   | Won -> "won"
@@ -33,6 +54,7 @@ let verdict_to_string = function
   | Retried -> "failed (retrying)"
   | Cancelled -> "cancelled"
   | Expired -> "deadline expired"
+  | Repaired rung -> Printf.sprintf "repaired (%s)" (rung_to_string rung)
 
 type tier_report = {
   tier : string; (* mapper name *)

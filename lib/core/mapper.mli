@@ -1,14 +1,24 @@
 (** The common mapper interface: every technique in the framework —
     one per Table I cell — is a value of {!t}. *)
 
+(** The rungs of {!Repair}'s certified escalation ladder, cheapest
+    first; defined here so a {!verdict} can carry the certifying rung. *)
+type rung = Untouched | Route_only | Local_replace | Ii_bump | Full_fallback
+
+val rung_to_string : rung -> string
+
+(** Inverse of {!rung_to_string}; [None] on unknown names. *)
+val rung_of_string : string -> rung option
+
 (** What happened to one harness tier try.  [Failed] covers both
     "technique gave up" and "produced an invalid mapping" (the latter
     carries the validator's INVALID note in [detail]); [Retried] is a
     failed try the harness immediately reran with a varied seed (only
     a tier's final failing try stays [Failed]); [Cancelled] means a
     sibling won the race first; [Expired] that the tier's wall-clock
-    share ran out. *)
-type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired
+    share ran out; [Repaired r] that {!Repair}'s ladder certified the
+    mapping at rung [r]. *)
+type verdict = Won | Mapped_lost | Failed | Retried | Cancelled | Expired | Repaired of rung
 
 val verdict_to_string : verdict -> string
 

@@ -18,23 +18,29 @@ type t = {
   rf : int array; (* (pe * ii + slot) -> live value count *)
 }
 
+(* Pre-claim every dead FU slot with [U_fault]: the one claim mechanism
+   shared by [create ?cgra] (constructive mappers), the negotiated
+   router, and [Repair]'s frozen-occupancy rebuilds — dead silicon looks
+   permanently busy to all of them.  Slots already claimed are left to
+   their user (a caller may claim bindings first and mask afterwards). *)
+let preclaim_faults t cgra =
+  for pe = 0 to t.npe - 1 do
+    if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
+      for s = 0 to t.ii - 1 do
+        if t.fu.((pe * t.ii) + s) = None then t.fu.((pe * t.ii) + s) <- Some U_fault
+      done
+    else
+      List.iter
+        (fun s ->
+          if s < t.ii && t.fu.((pe * t.ii) + s) = None then t.fu.((pe * t.ii) + s) <- Some U_fault)
+        (Ocgra_arch.Cgra.dead_slots cgra ~pe)
+  done
+
 (* With [?cgra], faulted FU slots are pre-claimed by [U_fault] so every
    constructive mapper and router treats them as permanently busy. *)
 let create ?cgra ~npe ~ii () =
   let t = { ii; npe; fu = Array.make (npe * ii) None; rf = Array.make (npe * ii) 0 } in
-  (match cgra with
-  | None -> ()
-  | Some cgra ->
-      for pe = 0 to npe - 1 do
-        if not (Ocgra_arch.Cgra.pe_ok cgra pe) then
-          for s = 0 to ii - 1 do
-            t.fu.((pe * ii) + s) <- Some U_fault
-          done
-        else
-          List.iter
-            (fun s -> if s < ii then t.fu.((pe * ii) + s) <- Some U_fault)
-            (Ocgra_arch.Cgra.dead_slots cgra ~pe)
-      done);
+  Option.iter (preclaim_faults t) cgra;
   t
 
 let slot_index t pe time = (pe * t.ii) + (((time mod t.ii) + t.ii) mod t.ii)
@@ -86,11 +92,23 @@ let release_route t (route : Mapping.route) =
       | Mapping.Hold { pe; from_; until } -> release_hold t ~pe ~from_ ~until)
     route
 
+(* Freeze the surviving pieces of an existing mapping: claim every
+   binding except the [skip_nodes] ones and every route whose edge
+   passes [keep_edge].  This is how an incremental caller (Repair, a
+   remap cache) pins what it intends to keep before asking the router
+   to negotiate only the rest; raises like [claim_fu] if the kept
+   pieces overlap. *)
+let claim_frozen t ?(skip_nodes = fun _ -> false) ?(keep_edge = fun _ -> true)
+    ~binding ~(routes : Mapping.route array) () =
+  Array.iteri
+    (fun v (pe, time) -> if not (skip_nodes v) then claim_fu t ~pe ~time (U_node v))
+    binding;
+  Array.iteri (fun e route -> if keep_edge e then claim_route t e route) routes
+
 (* Rebuild the full occupancy of a mapping; raises if overlapping. *)
 let of_mapping ~npe (m : Mapping.t) =
   let t = create ~npe ~ii:m.ii () in
-  Array.iteri (fun v (pe, time) -> claim_fu t ~pe ~time (U_node v)) m.binding;
-  Array.iteri (fun i route -> claim_route t i route) m.routes;
+  claim_frozen t ~binding:m.binding ~routes:m.routes ();
   t
 
 let fu_used_count t =

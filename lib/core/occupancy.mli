@@ -18,6 +18,25 @@ type t = {
 (** With [?cgra], faulted FU slots are pre-claimed by [U_fault], so
     constructive mappers and routers avoid them natively. *)
 val create : ?cgra:Ocgra_arch.Cgra.t -> npe:int -> ii:int -> unit -> t
+
+(** Claim every dead FU slot of [cgra] with [U_fault] (already-claimed
+    slots are left alone) — the shared pre-claim mechanism behind
+    [create ?cgra], the negotiated router's obstacle set and [Repair]'s
+    frozen occupancies. *)
+val preclaim_faults : t -> Ocgra_arch.Cgra.t -> unit
+
+(** Freeze the surviving pieces of an existing mapping: claim every
+    binding except those with [skip_nodes id] and every route with
+    [keep_edge idx] (both default to keeping everything).  Raises
+    [Invalid_argument] if the kept pieces overlap. *)
+val claim_frozen :
+  t ->
+  ?skip_nodes:(int -> bool) ->
+  ?keep_edge:(int -> bool) ->
+  binding:(int * int) array ->
+  routes:Mapping.route array ->
+  unit ->
+  unit
 val slot_index : t -> int -> int -> int
 val fu_user : t -> pe:int -> time:int -> user option
 val fu_free : t -> pe:int -> time:int -> bool

@@ -23,11 +23,32 @@ type prices = {
 let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
 let bump tbl key by = Hashtbl.replace tbl key (get tbl key + by)
 
-let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * int) array)
-    ~max_iters =
+(* [?frozen] carries pre-claimed resources the negotiation must treat
+   as hard obstacles (an incremental caller's healthy bindings and
+   routes, plus the [U_fault] claims) and whose RF pressure is baseline
+   load; [?only] restricts the rip-up/re-route set to the given edge
+   indices, with [?init_routes] supplying the untouched routes of the
+   rest — the repair path of [Repair] negotiates a handful of broken
+   edges against an otherwise frozen mapping this way.  With none of
+   the three, the behaviour is the original whole-mapping negotiation. *)
+let route_all ?(obs = Ocgra_obs.Ctx.off) ?frozen ?only ?init_routes (p : Problem.t) ~ii
+    (binding : (int * int) array) ~max_iters =
   let cgra = p.cgra in
   let edges = Array.of_list (Dfg.edges p.dfg) in
   let slot time = ((time mod ii) + ii) mod ii in
+  let negotiated =
+    match only with
+    | None -> Array.init (Array.length edges) Fun.id
+    | Some l -> Array.of_list l
+  in
+  let frozen_fu pe time =
+    match frozen with
+    | None -> false
+    | Some occ -> Occupancy.fu_user occ ~pe ~time <> None
+  in
+  let frozen_rf pe time =
+    match frozen with None -> 0 | Some occ -> Occupancy.rf_count occ ~pe ~time
+  in
   let prices =
     {
       fu_present = Hashtbl.create 64;
@@ -50,7 +71,14 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * i
         (fun s -> if s < ii then Hashtbl.replace node_slots (pe, s) ())
         (Cgra.dead_slots cgra ~pe)
   done;
-  let routes = Array.make (Array.length edges) [] in
+  let routes =
+    match init_routes with
+    | Some init -> Array.copy init
+    | None -> Array.make (Array.length edges) []
+  in
+  (* only the negotiated set participates in pricing; kept routes are
+     hard obstacles through [frozen], never re-priced or ripped up *)
+  Array.iter (fun e -> routes.(e) <- []) negotiated;
   let apply_route_prices sign route =
     List.iter
       (fun step ->
@@ -67,15 +95,19 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * i
       Route.fu_cost =
         (fun pe time ->
           let key = (pe, slot time) in
-          if Hashtbl.mem node_slots key then None (* operations are hard obstacles *)
+          if Hashtbl.mem node_slots key || frozen_fu pe time then
+            None (* operations and frozen claims are hard obstacles *)
           else
             Some (4 + (30 * get prices.fu_present key) + (8 * get prices.fu_history key)));
       rf_cost =
         (fun pe time ->
           let key = (pe, slot time) in
           let size = Cgra.effective_rf_size cgra pe in
-          let over = max 0 (get prices.rf_present key - size + 1) in
-          Some (1 + (30 * over) + (4 * get prices.rf_history key)));
+          if size = 0 then None
+          else begin
+            let over = max 0 (frozen_rf pe time + get prices.rf_present key - size + 1) in
+            Some (1 + (30 * over) + (4 * get prices.rf_history key))
+          end);
     }
   in
   let route_edge e =
@@ -93,7 +125,7 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * i
     Hashtbl.iter
       (fun (pe, s) c ->
         let size = Cgra.effective_rf_size cgra pe in
-        ignore s;
+        let c = c + frozen_rf pe s in
         if c > size then over := !over + (c - size))
       prices.rf_present;
     !over
@@ -101,11 +133,11 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * i
   let rec negotiate iter =
     if iter >= max_iters then None
     else begin
-      (* rip up and re-route every edge under current prices *)
+      (* rip up and re-route every negotiated edge under current prices *)
       Ocgra_obs.Ctx.incr obs "pathfinder.iterations";
       let ok = ref true in
-      Array.iteri
-        (fun e _ ->
+      Array.iter
+        (fun e ->
           apply_route_prices (-1) routes.(e);
           routes.(e) <- [];
           match route_edge e with
@@ -113,7 +145,7 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) (p : Problem.t) ~ii (binding : (int * i
               routes.(e) <- r;
               apply_route_prices 1 r
           | None -> ok := false)
-        edges;
+        negotiated;
       if not !ok then None
       else if overused () = 0 then begin
         let m = { Mapping.ii; binding = Array.copy binding; routes = Array.copy routes } in

@@ -8,9 +8,20 @@
     not converge within the budget.  Node placement legality is the
     caller's responsibility (see [Ocgra_mappers.Finalize]).  Each
     rip-up-and-reroute round bumps the [pathfinder.iterations] counter
-    of [?obs]. *)
+    of [?obs].
+
+    The incremental form used by [Repair]: [?frozen] pre-claimed
+    resources (surviving bindings/routes plus [U_fault]) are hard
+    obstacles whose RF load is baseline pressure; [?only] restricts
+    negotiation to the given edge indices; [?init_routes] supplies the
+    untouched routes of the rest, copied into the returned mapping.
+    The final mapping is validated whole, so a frozen route that turned
+    illegal still fails the call rather than slipping through. *)
 val route_all :
   ?obs:Ocgra_obs.Ctx.t ->
+  ?frozen:Occupancy.t ->
+  ?only:int list ->
+  ?init_routes:Mapping.route array ->
   Problem.t ->
   ii:int ->
   (int * int) array ->

@@ -277,6 +277,158 @@ let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) ?(retries = 2)
   Ocgra_obs.Ctx.add obs "campaign.applied" report.applied;
   report
 
+(* ---------- survivor campaign ---------- *)
+
+(* How long does a mapping stay alive as the array rots under it?
+   One survivor campaign walks an escalating seeded *permanent*-fault
+   sequence — [Cgra.inject_faults] draws sequentially, so the mask at
+   step k+1 strictly contains the mask at step k — and at every step
+   salvages the previous step's mapping through [Repair]'s certified
+   ladder, replaying the survivor on the cycle-accurate simulator.
+   The walk yields the II-degradation curve, the repair-vs-scratch
+   time ratio (each step also cold-remaps for comparison unless
+   [~scratch:false]) and the certified-failure point: the first fault
+   count at which no rung — fallback included — can certify a mapping. *)
+
+type survivor_step = {
+  step : int; (* faults injected at this step *)
+  rung : Mapper.rung option;
+  ii : int option;
+  repair_s : float;
+  scratch_s : float option;
+  scratch_ok : bool;
+  replayed : bool;
+  note : string;
+}
+
+type survivor_report = {
+  steps : survivor_step list;
+  survived : int;
+  certified_failure : int option;
+  ii_curve : (int * int) list;
+  repair_vs_scratch : float option;
+}
+
+let survivor_step_to_string s =
+  Printf.sprintf "step %d: %s%s repair %.3fs%s%s" s.step
+    (match s.rung with
+    | Some r -> Printf.sprintf "repaired (%s) II %s," (Mapper.rung_to_string r)
+                  (match s.ii with Some ii -> string_of_int ii | None -> "?")
+    | None -> "FAILED,")
+    (if s.replayed then " replayed," else if s.rung = None then "" else " REPLAY MISMATCH,")
+    s.repair_s
+    (match s.scratch_s with
+    | Some sc -> Printf.sprintf ", scratch %.3fs%s" sc (if s.scratch_ok then "" else " (failed)")
+    | None -> "")
+    (if s.note = "" then "" else " — " ^ s.note)
+
+let survivor_to_string r =
+  Printf.sprintf "survived %d fault(s)%s%s%s" r.survived
+    (match r.certified_failure with
+    | Some k -> Printf.sprintf ", certified failure at %d" k
+    | None -> ", no certified failure within the walk")
+    (match (r.ii_curve, List.rev r.ii_curve) with
+    | (_, ii0) :: _, (_, iin) :: _ -> Printf.sprintf "; II %d -> %d" ii0 iin
+    | _ -> "")
+    (match r.repair_vs_scratch with
+    | Some x -> Printf.sprintf "; repair %.1fx faster than scratch (median)" x
+    | None -> "")
+
+let median l =
+  match List.sort compare l with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+      Some ((a +. b) /. 2.0)
+
+let run_survivor ?workers ?(obs = Ocgra_obs.Ctx.off) ?(scratch = true) ?step_deadline_s
+    ?(max_ii_bumps = 2) ~chain (p : Problem.t) (m0 : Mapping.t) ~mk_io ~iters ~expected ~steps
+    ~seed =
+  if steps < 0 then invalid_arg "Reliability.run_survivor: negative step count";
+  let base = p.Problem.cgra in
+  let replay_ok pk m =
+    match Machine.run pk m (mk_io ()) ~iters with
+    | exception _ -> false
+    | result ->
+        List.for_all (fun (name, want) -> Machine.output_stream result name = want) expected
+  in
+  let rec walk k m_prev acc =
+    if k > steps then (List.rev acc, None)
+    else begin
+      (* the walk's mask strictly grows (sequential draws), layered on
+         top of whatever faults the array already carried *)
+      let mask =
+        Ocgra_arch.Fault.canonical
+          (Ocgra_arch.Cgra.faults base @ Ocgra_arch.Cgra.inject_faults base ~seed ~n:k)
+      in
+      let pk = { p with Problem.cgra = Ocgra_arch.Cgra.with_faults base mask } in
+      let t0 = Deadline.now () in
+      let o =
+        Ocgra_obs.Ctx.span obs ~cat:"reliability" "survivor:step" (fun () ->
+            Repair.repair ~seed ~deadline:(Deadline.of_seconds step_deadline_s) ~obs
+              ~fallback:chain ?workers ~max_ii_bumps pk m_prev)
+      in
+      let repair_s = Deadline.now () -. t0 in
+      let scratch_s, scratch_ok =
+        if not scratch then (None, false)
+        else begin
+          let t1 = Deadline.now () in
+          let c = Mapper.Harness.race ~seed ?deadline_s:step_deadline_s ?workers ~obs chain pk in
+          (Some (Deadline.now () -. t1), c.Mapper.mapping <> None)
+        end
+      in
+      match o.Repair.mapping with
+      | Some m when replay_ok pk m ->
+          let s =
+            {
+              step = k;
+              rung = o.Repair.rung;
+              ii = Some m.Mapping.ii;
+              repair_s;
+              scratch_s;
+              scratch_ok;
+              replayed = true;
+              note = o.Repair.note;
+            }
+          in
+          walk (k + 1) m (s :: acc)
+      | res ->
+          (* no certified mapping — or one the simulator contradicts,
+             which the certification contract treats as failure too *)
+          let s =
+            {
+              step = k;
+              rung = (match res with Some _ -> o.Repair.rung | None -> None);
+              ii = None;
+              repair_s;
+              scratch_s;
+              scratch_ok;
+              replayed = false;
+              note = o.Repair.note;
+            }
+          in
+          (List.rev (s :: acc), Some k)
+    end
+  in
+  let steps_done, certified_failure = walk 1 m0 [] in
+  let ii_curve =
+    List.filter_map (fun s -> match s.ii with Some ii -> Some (s.step, ii) | None -> None)
+      steps_done
+  in
+  let ratios =
+    List.filter_map
+      (fun s ->
+        match (s.rung, s.scratch_s) with
+        | Some _, Some sc when s.repair_s > 0.0 -> Some (sc /. s.repair_s)
+        | _ -> None)
+      steps_done
+  in
+  let survived = match certified_failure with Some k -> k - 1 | None -> steps in
+  Ocgra_obs.Ctx.add obs "survivor.steps" (List.length steps_done);
+  Ocgra_obs.Ctx.add obs "survivor.survived" survived;
+  { steps = steps_done; survived; certified_failure; ii_curve; repair_vs_scratch = median ratios }
+
 (* ---------- hardening overhead ---------- *)
 
 (* What the redundancy costs, measured on clean (fault-free) runs of

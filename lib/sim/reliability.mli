@@ -105,6 +105,72 @@ val run_campaign :
   seed:int ->
   report
 
+(** {2 Survivor campaign} — graceful degradation under an escalating
+    permanent-fault sequence, mapped through {!Ocgra_core.Repair}. *)
+
+type survivor_step = {
+  step : int;  (** permanent faults injected at this step *)
+  rung : Ocgra_core.Mapper.rung option;
+      (** certifying ladder rung; [None] = this step failed *)
+  ii : int option;  (** survivor's II, when certified *)
+  repair_s : float;  (** wall clock of the ladder *)
+  scratch_s : float option;  (** wall clock of the cold remap, when measured *)
+  scratch_ok : bool;  (** the cold remap also found a mapping *)
+  replayed : bool;  (** survivor replayed correctly on the simulator *)
+  note : string;
+}
+
+type survivor_report = {
+  steps : survivor_step list;  (** in walk order; ends at the failure step *)
+  survived : int;  (** highest fault count with a certified, replayed survivor *)
+  certified_failure : int option;
+      (** first fault count no rung could certify; [None] = walked out *)
+  ii_curve : (int * int) list;  (** (fault count, II) per surviving step *)
+  repair_vs_scratch : float option;
+      (** median of scratch-time / repair-time over surviving steps *)
+}
+
+val survivor_step_to_string : survivor_step -> string
+val survivor_to_string : survivor_report -> string
+
+(** [run_survivor ~chain p m0 ~mk_io ~iters ~expected ~steps ~seed]
+    walks an escalating seeded permanent-fault sequence on [p]'s (clean)
+    array: step [k] re-masks the fabric with
+    [Cgra.inject_faults ~seed ~n:k] — sequential draws, so each mask
+    strictly contains the previous one — and salvages the previous
+    step's mapping through {!Ocgra_core.Repair.repair} with [chain] as
+    the fallback race, then replays the survivor on the cycle-accurate
+    simulator against [expected].  The walk stops at the first step
+    with no certified, correctly-replaying mapping (the certified
+    failure point) or after [steps] steps.
+
+    Unless [~scratch:false], every step also cold-remaps with
+    {!Ocgra_core.Mapper.Harness.race} on the same mask to price the
+    repair against a from-scratch solve.  [?step_deadline_s] budgets
+    each step's ladder (and each cold remap) separately.  Deterministic
+    in [seed] for a single-tier [chain]; with racing fallbacks the
+    failure point is stable but which tier wins is timing-dependent.
+
+    [obs] records one [survivor:step] span per step plus
+    [survivor.steps] / [survivor.survived] and everything {!repair}
+    itself attributes.  Raises [Invalid_argument] on a negative step
+    count. *)
+val run_survivor :
+  ?workers:int ->
+  ?obs:Ocgra_obs.Ctx.t ->
+  ?scratch:bool ->
+  ?step_deadline_s:float ->
+  ?max_ii_bumps:int ->
+  chain:Ocgra_core.Mapper.t list ->
+  Ocgra_core.Problem.t ->
+  Ocgra_core.Mapping.t ->
+  mk_io:(unit -> Machine.io) ->
+  iters:int ->
+  expected:(string * int list) list ->
+  steps:int ->
+  seed:int ->
+  survivor_report
+
 (** {2 Hardening overhead} — measured on clean runs of both mappings. *)
 
 type overhead = {

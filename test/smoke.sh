@@ -92,4 +92,29 @@ RES=$("$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20000 \
   --checkpoint "$TMPD/campaign.jsonl" --resume | grep "campaign (")
 [ "$REF" = "$RES" ]
 
+# graceful degradation: saxpy under an escalating seeded fault
+# sequence must walk down the certified repair ladder — every step
+# either certified ("repaired (<rung>)") or an explicit failure, never
+# an uncertified mapping; the survivor summary must name the walk
+SURV=$("$OCGRA" sim -k saxpy -m modulo-greedy --survivor 10 --fault-seed 1)
+echo "$SURV" | grep -q "matches the reference interpreter"
+echo "$SURV" | grep -q "survived"
+! echo "$SURV" | grep -q "UNCERTIFIED"
+! echo "$SURV" | grep -q "REPLAY MISMATCH"
+# the ladder degrades gracefully: at least one step is salvaged by a
+# cheap rung (untouched/route-only/re-place/ii-bump), not all fallback
+echo "$SURV" | grep -Eq "repaired \((untouched|route-only|re-place|ii-bump)\)"
+
+# incremental repair on the map path: degrading after mapping must
+# certify through a rung and print the diagnosis
+"$OCGRA" map -k saxpy -m modulo-greedy --repair 6 --fault-seed 1 \
+  | grep -q "repaired:"
+
+# repair determinism: same diagnosis, same rung, same repaired grid,
+# whatever OCGRA_JOBS says (wall-clock times are the only variance)
+R1=$(OCGRA_JOBS=1 "$OCGRA" map -k fir4 -m modulo-greedy --repair 8 --fault-seed 1)
+R4=$(OCGRA_JOBS=4 "$OCGRA" map -k fir4 -m modulo-greedy --repair 8 --fault-seed 1)
+norm_repair() { echo "$1" | grep -E '^(diagnosis|\|)'; echo "$1" | grep -oE 'repaired \([a-z-]+\)'; }
+[ "$(norm_repair "$R1")" = "$(norm_repair "$R4")" ]
+
 echo "smoke OK"
