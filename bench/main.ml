@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- quick   skip the slow exact mappers
      dune exec bench/main.exe -- t1b-only [journal=FILE] [resume]
                                          just the empirical sweep, with
-                                         optional crash-safe checkpointing *)
+                                         optional crash-safe checkpointing
+     dune exec bench/main.exe -- repair-only     just the repair-ladder walk
+     dune exec bench/main.exe -- sat-sweep-only  just the incremental-vs-cold
+                                                 SAT II-sweep comparison *)
 
 module Table = Ocgra_util.Table
 module Kernels = Ocgra_workloads.Kernels
@@ -16,6 +19,7 @@ let args = List.tl (Array.to_list Sys.argv)
 let quick = List.mem "quick" args
 let t1b_only = List.mem "t1b-only" args
 let repair_only = List.mem "repair-only" args
+let sat_sweep_only = List.mem "sat-sweep-only" args
 let bench_resume = List.mem "resume" args
 
 let bench_journal =
@@ -431,6 +435,147 @@ let repair_bench () =
   Printf.printf "  median speedup, incremental rungs (route-only/re-place): %s\n"
     (match med_incr with Some x -> Printf.sprintf "%.1fx" x | None -> "-");
   print_endline "  machine-readable walk written to BENCH_PR7.json"
+
+(* ------------------------------------------------------------------ *)
+(* PR8: incremental assumption-based II sweep vs cold-per-II           *)
+(* ------------------------------------------------------------------ *)
+
+(* Kernels x grids whose optimal II exceeds MII, so the sweep visits
+   more than one candidate and the shared solver instance actually
+   carries learnt clauses, activities and phases across candidates.
+   Both modes must reach the same final II; the incremental sweep is
+   expected to spend strictly fewer conflicts (conflict counts are
+   deterministic; wall times vary with machine load). *)
+let sat_sweep_cases =
+  [ ("running-max", 2); ("absdiff", 2); ("mix-round", 2); ("matvec2", 3) ]
+
+let sat_sweep_seed = 11
+let sat_sweep_max_ii = 8
+
+type sat_sweep_run = {
+  ss_ii : int option;
+  ss_attempts : int;
+  ss_conflicts : int;
+  ss_decisions : int;
+  ss_propagations : int;
+  ss_time_s : float;
+}
+
+let sat_sweep_run ~incremental (k : Kernels.t) grid =
+  let cgra = Ocgra_arch.Cgra.uniform ~rows:grid ~cols:grid () in
+  let p =
+    Ocgra_core.Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra ~max_ii:sat_sweep_max_ii ()
+  in
+  let obs = Ocgra_obs.Ctx.create () in
+  let rng = Ocgra_util.Rng.create sat_sweep_seed in
+  let t0 = Ocgra_core.Deadline.now () in
+  let m, attempts, _, _ = Ocgra_mappers.Sat_temporal.map ~incremental ~obs p rng in
+  let dt = Ocgra_core.Deadline.now () -. t0 in
+  (match m with
+  | Some m when Ocgra_core.Check.validate p m <> [] ->
+      invalid_arg (Printf.sprintf "sat sweep: invalid mapping on %s" k.name)
+  | _ -> ());
+  let mt = Ocgra_obs.Ctx.metrics obs in
+  let get = Ocgra_obs.Metrics.get mt in
+  {
+    ss_ii = Option.map (fun (m : Ocgra_core.Mapping.t) -> m.ii) m;
+    ss_attempts = attempts;
+    ss_conflicts = get "sat.conflicts";
+    ss_decisions = get "sat.decisions";
+    ss_propagations = get "sat.propagations";
+    ss_time_s = dt;
+  }
+
+let sat_sweep_json_run r =
+  Printf.sprintf
+    "{\"ii\": %s, \"attempts\": %d, \"conflicts\": %d, \"decisions\": %d, \
+     \"propagations\": %d, \"time_s\": %.6f}"
+    (match r.ss_ii with Some ii -> string_of_int ii | None -> "null")
+    r.ss_attempts r.ss_conflicts r.ss_decisions r.ss_propagations r.ss_time_s
+
+let write_sat_sweep_json path rows (tc : sat_sweep_run) (ti : sat_sweep_run) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Printf.sprintf
+           "{\n\"bench\": \"sat-incremental-sweep\",\n\"seed\": %d,\n\"max_ii\": %d,\n\
+            \"kernels\": [\n"
+           sat_sweep_seed sat_sweep_max_ii);
+      List.iteri
+        (fun i (kernel, grid, mii, cold, inc) ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc
+            (Printf.sprintf
+               "{\"kernel\": \"%s\", \"grid\": \"%dx%d\", \"mii\": %d,\n\
+               \  \"cold\": %s,\n  \"incremental\": %s,\n\
+               \  \"same_ii\": %b, \"conflicts_reduced\": %b, \"time_reduced\": %b}"
+               (json_escape kernel) grid grid mii (sat_sweep_json_run cold)
+               (sat_sweep_json_run inc)
+               (cold.ss_ii = inc.ss_ii)
+               (inc.ss_conflicts < cold.ss_conflicts)
+               (inc.ss_time_s < cold.ss_time_s)))
+        rows;
+      output_string oc
+        (Printf.sprintf
+           "\n],\n\"totals\": {\"cold\": %s,\n\"incremental\": %s,\n\
+            \"conflicts_reduced\": %b, \"time_reduced\": %b}\n}\n"
+           (sat_sweep_json_run tc) (sat_sweep_json_run ti)
+           (ti.ss_conflicts < tc.ss_conflicts)
+           (ti.ss_time_s < tc.ss_time_s)))
+
+let sat_sweep_bench () =
+  section "Incremental SAT II sweep: one shared solver vs cold per candidate II";
+  let rows =
+    List.map
+      (fun (name, grid) ->
+        let k = Kernels.find name in
+        let cgra = Ocgra_arch.Cgra.uniform ~rows:grid ~cols:grid () in
+        let mii = Ocgra_core.Mii.mii k.dfg cgra in
+        let cold = sat_sweep_run ~incremental:false k grid in
+        let inc = sat_sweep_run ~incremental:true k grid in
+        (name, grid, mii, cold, inc))
+      sat_sweep_cases
+  in
+  let total runs =
+    List.fold_left
+      (fun acc r ->
+        {
+          acc with
+          ss_conflicts = acc.ss_conflicts + r.ss_conflicts;
+          ss_decisions = acc.ss_decisions + r.ss_decisions;
+          ss_propagations = acc.ss_propagations + r.ss_propagations;
+          ss_time_s = acc.ss_time_s +. r.ss_time_s;
+          ss_attempts = acc.ss_attempts + r.ss_attempts;
+        })
+      { ss_ii = None; ss_attempts = 0; ss_conflicts = 0; ss_decisions = 0;
+        ss_propagations = 0; ss_time_s = 0.0 }
+      runs
+  in
+  let tc = total (List.map (fun (_, _, _, c, _) -> c) rows) in
+  let ti = total (List.map (fun (_, _, _, _, i) -> i) rows) in
+  Table.print
+    ~headers:
+      [| "kernel"; "grid"; "mii"; "II"; "sweeps"; "cold confl"; "incr confl"; "cold s"; "incr s" |]
+    (List.map
+       (fun (name, grid, mii, (c : sat_sweep_run), (i : sat_sweep_run)) ->
+         [|
+           name;
+           Printf.sprintf "%dx%d" grid grid;
+           string_of_int mii;
+           (match i.ss_ii with Some ii -> string_of_int ii | None -> "-");
+           string_of_int i.ss_attempts;
+           string_of_int c.ss_conflicts;
+           string_of_int i.ss_conflicts;
+           Printf.sprintf "%.3f" c.ss_time_s;
+           Printf.sprintf "%.3f" i.ss_time_s;
+         |])
+       rows);
+  Printf.printf "  totals: conflicts %d -> %d, wall %.3fs -> %.3fs\n" tc.ss_conflicts
+    ti.ss_conflicts tc.ss_time_s ti.ss_time_s;
+  write_sat_sweep_json "BENCH_PR8.json" rows tc ti;
+  print_endline "  machine-readable sweep written to BENCH_PR8.json"
 
 (* ------------------------------------------------------------------ *)
 (* F1: architecture-class comparison                                   *)
@@ -940,6 +1085,7 @@ let run_everything () =
   f1 ();
   t1b ();
   repair_bench ();
+  sat_sweep_bench ();
   ab_exact_scaling ();
   bechamel_suite ();
   print_endline "\nAll artifacts regenerated."
@@ -952,5 +1098,9 @@ let () =
   else if repair_only then begin
     repair_bench ();
     print_endline "\nRepair-ladder walk regenerated."
+  end
+  else if sat_sweep_only then begin
+    sat_sweep_bench ();
+    print_endline "\nSAT incremental-sweep comparison regenerated."
   end
   else run_everything ()

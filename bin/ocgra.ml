@@ -31,7 +31,13 @@ let kernel_t =
   Arg.(value & opt string "dot-product" & info [ "k"; "kernel" ] ~doc:"Kernel name.")
 
 let mapper_t =
-  Arg.(value & opt string "modulo-greedy" & info [ "m"; "mapper" ] ~doc:"Mapper name.")
+  Arg.(
+    value
+    & opt string "modulo-greedy"
+    & info [ "m"; "mapper" ]
+        ~doc:
+          "Mapper name (see $(b,list)); also accepts the off-table extras $(b,constructive) \
+           and $(b,sat-cold), the cold-per-II baseline of the incremental SAT sweep.")
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 

@@ -31,9 +31,10 @@ let all : Mapper.t list =
   ]
 
 (* Extra mappers that are findable by name but not part of the Table I
-   bench set — notably the plain constructive fallback tier used by the
-   Harness. *)
-let extras : Mapper.t list = [ Heuristic.constructive_mapper ]
+   bench set — the plain constructive fallback tier used by the
+   Harness, and the cold-per-II SAT baseline the incremental-sweep
+   bench compares against. *)
+let extras : Mapper.t list = [ Heuristic.constructive_mapper; Sat_temporal.mapper_cold ]
 
 let find name =
   match List.find_opt (fun (m : Mapper.t) -> m.name = name) (all @ extras) with

@@ -2,7 +2,14 @@
     encoded propositionally per candidate II, starting at MII — SAT at
     MII certifies the optimal II; UNSAT certifies infeasibility within
     the schedule window.  Routes use FU hops only (no RF holds) and
-    fan-out edges route separately; see DESIGN.md. *)
+    fan-out edges route separately; see DESIGN.md.
+
+    The sweep is incremental by default: the x/y/h propositions are
+    II-independent, so one solver instance serves every candidate II —
+    per-II constraints join under an activation literal, each II is
+    solved under that assumption, and refuted candidates are retired
+    with a unit against their guard.  Learnt clauses, VSIDS activity
+    and saved phases carry across the sweep (DESIGN.md §4i). *)
 
 (** (mapping, attempts, proven optimal, note).  [deadline_s] bounds the
     run in wall-clock seconds (threaded into the CDCL search as a
@@ -10,16 +17,24 @@
     [deadline] additionally threads an externally built deadline --
     including any attached cancellation hook -- into the same stop
     signal.  [obs] records one span per candidate II and flushes the
-    solver's conflict/decision/propagation tallies
-    ([sat.conflicts], ...). *)
+    solver's conflict/decision/propagation tallies as per-II deltas
+    ([sat.conflicts], ...).  [incremental:false] restores the
+    cold-per-II baseline (a fresh solver per candidate II); cold and
+    incremental sweeps reach the same verdict and the same final II,
+    though not necessarily the same model. *)
 val map :
   ?slack:int ->
   ?max_conflicts:int ->
   ?deadline_s:float ->
   ?deadline:Ocgra_core.Deadline.t ->
   ?obs:Ocgra_obs.Ctx.t ->
+  ?incremental:bool ->
   Ocgra_core.Problem.t ->
   Ocgra_util.Rng.t ->
   Ocgra_core.Mapping.t option * int * bool * string
 
 val mapper : Ocgra_core.Mapper.t
+
+(** The cold-per-II baseline as a registered mapper ("sat-cold"), kept
+    so benches can price the incremental sweep against it. *)
+val mapper_cold : Ocgra_core.Mapper.t

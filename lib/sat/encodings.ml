@@ -3,20 +3,35 @@
    The SAT mapper needs exactly-one (each DFG node gets one slot) and
    at-most-one / at-most-k (each slot runs at most one op; register
    files hold at most rf_size values), encoded with the pairwise and
-   sequential-counter schemes. *)
+   sequential-counter schemes.
+
+   Every helper takes an optional activation [?guard] literal: each
+   emitted clause is weakened to (not guard) \/ clause, so the whole
+   constraint group only binds while [guard] is assumed true.  The
+   incremental II sweep uses this to keep the per-II constraints of
+   every candidate II in one solver instance, activating exactly one
+   group per solve and retiring refuted groups with a unit
+   [not guard]. *)
+
+(* Guarded clause emission: the single choke point every encoding goes
+   through, so a guard covers auxiliary-variable clauses too. *)
+let add ?guard s lits =
+  match guard with
+  | None -> Solver.add_clause s lits
+  | Some g -> Solver.add_clause s (Solver.negate g :: lits)
 
 (* Pairwise at-most-one: quadratic, best for small groups. *)
-let at_most_one_pairwise s lits =
+let at_most_one_pairwise ?guard s lits =
   let arr = Array.of_list lits in
   let n = Array.length arr in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      Solver.add_clause s [ Solver.negate arr.(i); Solver.negate arr.(j) ]
+      add ?guard s [ Solver.negate arr.(i); Solver.negate arr.(j) ]
     done
   done
 
 (* Sequential at-most-one (Sinz): linear, auxiliary variables. *)
-let at_most_one_sequential s lits =
+let at_most_one_sequential ?guard s lits =
   match lits with
   | [] | [ _ ] -> ()
   | _ ->
@@ -24,48 +39,53 @@ let at_most_one_sequential s lits =
       let n = Array.length arr in
       let aux = Array.init (n - 1) (fun _ -> Solver.new_var s) in
       (* s_i means "one of arr.(0..i) is true" *)
-      Solver.add_clause s [ Solver.negate arr.(0); Solver.pos aux.(0) ];
+      add ?guard s [ Solver.negate arr.(0); Solver.pos aux.(0) ];
       for i = 1 to n - 2 do
-        Solver.add_clause s [ Solver.negate arr.(i); Solver.pos aux.(i) ];
-        Solver.add_clause s [ Solver.neg aux.(i - 1); Solver.pos aux.(i) ];
-        Solver.add_clause s [ Solver.negate arr.(i); Solver.neg aux.(i - 1) ]
+        add ?guard s [ Solver.negate arr.(i); Solver.pos aux.(i) ];
+        add ?guard s [ Solver.neg aux.(i - 1); Solver.pos aux.(i) ];
+        add ?guard s [ Solver.negate arr.(i); Solver.neg aux.(i - 1) ]
       done;
-      Solver.add_clause s [ Solver.negate arr.(n - 1); Solver.neg aux.(n - 2) ]
+      add ?guard s [ Solver.negate arr.(n - 1); Solver.neg aux.(n - 2) ]
 
-let at_most_one ?(threshold = 6) s lits =
-  if List.length lits <= threshold then at_most_one_pairwise s lits
-  else at_most_one_sequential s lits
+let at_most_one ?(threshold = 6) ?guard s lits =
+  if List.length lits <= threshold then at_most_one_pairwise ?guard s lits
+  else at_most_one_sequential ?guard s lits
 
-let at_least_one s lits = Solver.add_clause s lits
+let at_least_one ?guard s lits = add ?guard s lits
 
-let exactly_one ?threshold s lits =
-  at_least_one s lits;
-  at_most_one ?threshold s lits
+let exactly_one ?threshold ?guard s lits =
+  at_least_one ?guard s lits;
+  at_most_one ?threshold ?guard s lits
 
 (* Sequential-counter at-most-k. *)
-let at_most_k s lits k =
+let at_most_k ?guard s lits k =
   let arr = Array.of_list lits in
   let n = Array.length arr in
-  if k < 0 then List.iter (fun l -> Solver.add_clause s [ Solver.negate l ]) lits
-  else if k = 0 then List.iter (fun l -> Solver.add_clause s [ Solver.negate l ]) lits
+  if k < 0 then
+    (* "at most -1 true" has no model even over zero literals: the
+       constraint itself is contradictory, so emit the empty clause
+       (guarded: a unit against the guard) rather than merely forcing
+       every listed literal false as k = 0 would *)
+    add ?guard s []
+  else if k = 0 then List.iter (fun l -> add ?guard s [ Solver.negate l ]) lits
   else if n > k then begin
     (* r.(i).(j): at least j+1 of arr.(0..i) are true *)
     let r = Array.init n (fun _ -> Array.init k (fun _ -> Solver.new_var s)) in
-    Solver.add_clause s [ Solver.negate arr.(0); Solver.pos r.(0).(0) ];
+    add ?guard s [ Solver.negate arr.(0); Solver.pos r.(0).(0) ];
     for j = 1 to k - 1 do
-      Solver.add_clause s [ Solver.neg r.(0).(j) ]
+      add ?guard s [ Solver.neg r.(0).(j) ]
     done;
     for i = 1 to n - 1 do
-      Solver.add_clause s [ Solver.negate arr.(i); Solver.pos r.(i).(0) ];
-      Solver.add_clause s [ Solver.neg r.(i - 1).(0); Solver.pos r.(i).(0) ];
+      add ?guard s [ Solver.negate arr.(i); Solver.pos r.(i).(0) ];
+      add ?guard s [ Solver.neg r.(i - 1).(0); Solver.pos r.(i).(0) ];
       for j = 1 to k - 1 do
-        Solver.add_clause s
+        add ?guard s
           [ Solver.negate arr.(i); Solver.neg r.(i - 1).(j - 1); Solver.pos r.(i).(j) ];
-        Solver.add_clause s [ Solver.neg r.(i - 1).(j); Solver.pos r.(i).(j) ]
+        add ?guard s [ Solver.neg r.(i - 1).(j); Solver.pos r.(i).(j) ]
       done;
-      Solver.add_clause s [ Solver.negate arr.(i); Solver.neg r.(i - 1).(k - 1) ]
+      add ?guard s [ Solver.negate arr.(i); Solver.neg r.(i - 1).(k - 1) ]
     done
   end
 
 (* Implication helper: a -> (b1 or b2 or ...) *)
-let implies s a bs = Solver.add_clause s (Solver.negate a :: bs)
+let implies ?guard s a bs = add ?guard s (Solver.negate a :: bs)

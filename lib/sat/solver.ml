@@ -6,6 +6,30 @@
    The SAT-based mapper ([17] in the survey) and the difference-logic
    SMT layer are built on this solver.
 
+   The solver is *incremental*: clauses can be added between [solve]
+   calls, and [solve ~assumptions] answers relative to a conjunction of
+   assumption literals without damaging the instance.  Assumptions are
+   decided first, one per decision level, so the decision level itself
+   is the assumption cursor — establishing them costs O(1) per decision
+   instead of a scan of the assumption list.  When an assumption is
+   contradicted, [analyze_final] walks the implication graph back to
+   the assumption decisions and records a *failed-assumption core*
+   (retrievable with [conflict_assumptions]): a subset of the
+   assumptions that is already inconsistent with the instance.  An
+   empty core after Unsat means the instance itself is unsatisfiable.
+
+   Learnt-clause management: every learnt clause carries its LBD
+   ("literal blocks distance" — the number of distinct decision levels
+   among its literals at analysis time).  At restart boundaries the
+   solver periodically runs [reduce_db], dropping high-LBD, low-activity
+   learnt clauses while always keeping glue clauses (LBD <= 2) and
+   locked clauses (those acting as the reason of an assigned literal),
+   and [simplify], which deletes root-satisfied clauses — including
+   clauses retired by a fixed activation literal — and strips
+   root-falsified literals from the rest.  Both rebuild the watch lists
+   over a compacted clause store, so retired incremental clause groups
+   actually release their memory.
+
    Literal encoding: variable v (1-based) gives literals 2v (positive)
    and 2v+1 (negative); [negate l = l lxor 1]. *)
 
@@ -26,12 +50,18 @@ let v_undef = 0
 let v_true = 1
 let v_false = 2
 
-type clause = { lits : int array; mutable activity : float; learnt : bool }
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  mutable lbd : int; (* distinct decision levels at analysis time; 0 for problem clauses *)
+  learnt : bool;
+}
 
 type t = {
   mutable nvars : int;
   mutable clauses : clause array; (* growable store *)
   mutable n_clauses : int;
+  mutable n_learnts : int; (* learnt clauses currently in the store *)
   mutable watches : int list array; (* literal -> clause indices watching it *)
   mutable assign : int array; (* var -> v_undef / v_true / v_false *)
   mutable level : int array; (* var -> decision level *)
@@ -53,14 +83,22 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
-  seen_buf : Buffer.t; (* placeholder to keep record non-empty groupings tidy *)
+  (* persistent first-UIP scratch: cleared via [to_clear] after each
+     analysis instead of reallocating an O(nvars) array per conflict *)
+  mutable seen : bool array;
+  mutable conflict_assumps : lit list; (* failed-assumption core of the last Unsat *)
+  (* learnt-DB reduction schedule *)
+  mutable max_learnts : int;
+  mutable reduces : int;
+  mutable simp_assigns : int; (* root trail size at the last simplify *)
 }
 
-let create () =
+let create ?(reduce_base = 4000) () =
   {
     nvars = 0;
-    clauses = Array.make 16 { lits = [||]; activity = 0.0; learnt = false };
+    clauses = Array.make 16 { lits = [||]; activity = 0.0; lbd = 0; learnt = false };
     n_clauses = 0;
+    n_learnts = 0;
     watches = Array.make 16 [];
     assign = Array.make 16 v_undef;
     level = Array.make 16 0;
@@ -81,10 +119,16 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
-    seen_buf = Buffer.create 1;
+    seen = Array.make 16 false;
+    conflict_assumps = [];
+    max_learnts = max 16 reduce_base;
+    reduces = 0;
+    simp_assigns = -1;
   }
 
 let n_vars t = t.nvars
+let is_ok t = t.ok
+let conflict_assumptions t = t.conflict_assumps
 
 (* ---------- dynamic arrays ---------- *)
 
@@ -172,7 +216,8 @@ let new_var t =
     t.activity <- grow_float_array t.activity n;
     t.phase <- grow_bool_array t.phase n;
     t.heap_pos <- grow_int_array t.heap_pos n (-1);
-    t.trail <- grow_int_array t.trail n 0
+    t.trail <- grow_int_array t.trail n 0;
+    t.seen <- grow_bool_array t.seen n
   end;
   let needed_lits = (2 * v) + 2 in
   if needed_lits > Array.length t.watches then begin
@@ -207,6 +252,7 @@ let push_clause t c =
   end;
   t.clauses.(t.n_clauses) <- c;
   t.n_clauses <- t.n_clauses + 1;
+  if c.learnt then t.n_learnts <- t.n_learnts + 1;
   t.n_clauses - 1
 
 let watch t l ci = t.watches.(l) <- ci :: t.watches.(l)
@@ -320,15 +366,32 @@ let bump_var t v =
   end;
   heap_update t v
 
+(* Clause activities need the same rescale guard as variables:
+   [cla_inc] grows by 1/cla_decay every conflict, so an unguarded sum
+   reaches infinity (then NaN on further arithmetic) on long solves,
+   which would scramble the activity tie-break of [reduce_db]. *)
+let bump_clause t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    for i = 0 to t.n_clauses - 1 do
+      let c = t.clauses.(i) in
+      if c.learnt then c.activity <- c.activity *. 1e-20
+    done;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
 let decay_activities t =
   t.var_inc <- t.var_inc /. var_decay;
   t.cla_inc <- t.cla_inc /. cla_decay
 
 (* ---------- conflict analysis (first UIP) ---------- *)
 
+(* Returns (learnt clause, backjump level, lbd).  The [seen] scratch is
+   persistent; every var marked here is unmarked before returning. *)
 let analyze t confl =
   let learnt = ref [] in
-  let seen = Array.make (t.nvars + 1) false in
+  let seen = t.seen in
+  let to_clear = ref [] in
   let counter = ref 0 in
   let p = ref (-1) in
   let confl = ref confl in
@@ -337,13 +400,14 @@ let analyze t confl =
   let continue_loop = ref true in
   while !continue_loop do
     let c = t.clauses.(!confl) in
-    if c.learnt then c.activity <- c.activity +. t.cla_inc;
+    if c.learnt then bump_clause t c;
     let start = if !p = -1 then 0 else 1 in
     for i = start to Array.length c.lits - 1 do
       let q = c.lits.(i) in
       let v = var_of q in
       if (not seen.(v)) && t.level.(v) > 0 then begin
         seen.(v) <- true;
+        to_clear := v :: !to_clear;
         bump_var t v;
         if t.level.(v) >= decision_level t then incr counter
         else begin
@@ -370,7 +434,54 @@ let analyze t confl =
     else continue_loop := false
   done;
   let learnt_lits = Array.of_list (negate !p :: !learnt) in
-  (learnt_lits, !backtrack_level)
+  (* LBD: distinct decision levels among the learnt literals.  The
+     asserting literal sits at the (current) conflict level; the rest
+     keep their levels across the backjump. *)
+  let lbd =
+    List.length
+      (List.sort_uniq compare
+         (decision_level t :: List.map (fun q -> t.level.(var_of q)) !learnt))
+  in
+  List.iter (fun v -> seen.(v) <- false) !to_clear;
+  (learnt_lits, !backtrack_level, lbd)
+
+(* Failed-assumption core: called when assumption [a] is found false
+   under the current (all-assumption) decision prefix.  Walks the
+   implication graph from ~a back through reasons; every assumption
+   decision reached joins the core.  The resulting set of assumption
+   literals is inconsistent with the instance on its own. *)
+let analyze_final t a =
+  if decision_level t = 0 then [ a ]
+  else begin
+    let seen = t.seen in
+    let core = ref [ a ] in
+    let to_clear = ref [ var_of a ] in
+    seen.(var_of a) <- true;
+    let bottom = t.trail_lim.(0) in
+    for i = t.trail_size - 1 downto bottom do
+      let l = t.trail.(i) in
+      let v = var_of l in
+      if seen.(v) then
+        if t.reason.(v) < 0 then begin
+          (* a decision: inside the assumption prefix every decision is
+             an assumption literal, enqueued verbatim *)
+          if t.level.(v) > 0 && l <> a then core := l :: !core
+        end
+        else begin
+          let c = t.clauses.(t.reason.(v)) in
+          Array.iter
+            (fun q ->
+              let vq = var_of q in
+              if vq <> v && (not seen.(vq)) && t.level.(vq) > 0 then begin
+                seen.(vq) <- true;
+                to_clear := vq :: !to_clear
+              end)
+            c.lits
+        end
+    done;
+    List.iter (fun v -> seen.(v) <- false) !to_clear;
+    !core
+  end
 
 (* ---------- clause addition ---------- *)
 
@@ -404,13 +515,13 @@ let add_clause t lits =
             else if lit_value t l = v_false then t.ok <- false
         | _ ->
             let arr = Array.of_list lits in
-            let ci = push_clause t { lits = arr; activity = 0.0; learnt = false } in
+            let ci = push_clause t { lits = arr; activity = 0.0; lbd = 0; learnt = false } in
             watch t arr.(0) ci;
             watch t arr.(1) ci
     end
   end
 
-let add_learnt t lits =
+let add_learnt t lits lbd =
   match Array.length lits with
   | 1 ->
       enqueue t lits.(0) (-1)
@@ -423,10 +534,159 @@ let add_learnt t lits =
       let tmp = lits.(1) in
       lits.(1) <- lits.(!max_i);
       lits.(!max_i) <- tmp;
-      let ci = push_clause t { lits; activity = t.cla_inc; learnt = true } in
+      let ci = push_clause t { lits; activity = t.cla_inc; lbd; learnt = true } in
       watch t lits.(0) ci;
       watch t lits.(1) ci;
       enqueue t lits.(0) ci
+
+(* ---------- clause-DB maintenance (root level only) ---------- *)
+
+(* Both entry points require decision level 0 with propagation
+   complete; both compact the clause store and rebuild the watch
+   lists, remapping reason indices through the compaction map. *)
+
+let compact t keep =
+  let map = Array.make (max 1 t.n_clauses) (-1) in
+  let j = ref 0 in
+  let learnts = ref 0 in
+  for i = 0 to t.n_clauses - 1 do
+    if keep.(i) then begin
+      map.(i) <- !j;
+      t.clauses.(!j) <- t.clauses.(i);
+      if t.clauses.(!j).learnt then incr learnts;
+      incr j
+    end
+  done;
+  t.n_clauses <- !j;
+  t.n_learnts <- !learnts;
+  for v = 1 to t.nvars do
+    let r = t.reason.(v) in
+    if r >= 0 then t.reason.(v) <- map.(r)
+  done;
+  Array.fill t.watches 0 (Array.length t.watches) [];
+  for ci = 0 to t.n_clauses - 1 do
+    let lits = t.clauses.(ci).lits in
+    watch t lits.(0) ci;
+    watch t lits.(1) ci
+  done
+
+(* A clause is locked while it is the reason of its asserted first
+   literal: reduction must never drop it or analysis would chase a
+   dangling reason. *)
+let locked t ci =
+  let c = t.clauses.(ci) in
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  t.assign.(v) <> v_undef && t.reason.(v) = ci
+
+let root_true t l = lit_value t l = v_true && t.level.(var_of l) = 0
+let root_false t l = lit_value t l = v_false && t.level.(var_of l) = 0
+
+(* Root-level simplification: delete clauses satisfied at level 0 —
+   the mechanism that reclaims clause groups retired by a fixed
+   activation literal — and strip root-false literals elsewhere.
+   Reasons of root-assigned variables are detached first (conflict
+   analysis never crosses level 0), so a root-satisfied reason clause
+   can be deleted too. *)
+let simplify t =
+  if t.ok && decision_level t = 0 && t.qhead = t.trail_size then begin
+    for i = 0 to t.trail_size - 1 do
+      t.reason.(var_of t.trail.(i)) <- -1
+    done;
+    let keep = Array.make (max 1 t.n_clauses) true in
+    for ci = 0 to t.n_clauses - 1 do
+      let c = t.clauses.(ci) in
+      if Array.exists (fun l -> root_true t l) c.lits then keep.(ci) <- false
+      else if Array.exists (fun l -> root_false t l) c.lits then begin
+        let lits = Array.of_list (List.filter (fun l -> not (root_false t l)) (Array.to_list c.lits)) in
+        (* propagation being complete at the root rules out 0- and
+           1-literal leftovers (they would have conflicted or
+           propagated); stay defensive anyway *)
+        if Array.length lits >= 2 then c.lits <- lits
+        else if Array.length lits = 1 then begin
+          keep.(ci) <- false;
+          if lit_value t lits.(0) = v_undef then enqueue t lits.(0) (-1)
+        end
+        else begin
+          keep.(ci) <- false;
+          t.ok <- false
+        end
+      end
+    done;
+    compact t keep;
+    if propagate t >= 0 then t.ok <- false;
+    t.simp_assigns <- t.trail_size
+  end
+
+(* Learnt-DB reduction: drop roughly half of the reducible learnt
+   clauses — worst (highest LBD, then lowest activity) first — keeping
+   every glue clause (LBD <= 2) and every locked clause. *)
+let reduce_db t =
+  if t.ok && decision_level t = 0 && t.qhead = t.trail_size then begin
+    t.reduces <- t.reduces + 1;
+    let reducible = ref [] in
+    for ci = 0 to t.n_clauses - 1 do
+      let c = t.clauses.(ci) in
+      if c.learnt && c.lbd > 2 && not (locked t ci) then reducible := ci :: !reducible
+    done;
+    let order =
+      List.sort
+        (fun a b ->
+          let ca = t.clauses.(a) and cb = t.clauses.(b) in
+          if ca.lbd <> cb.lbd then compare cb.lbd ca.lbd (* higher LBD first *)
+          else if ca.activity <> cb.activity then compare ca.activity cb.activity
+          else compare a b)
+        !reducible
+    in
+    let n_drop = List.length order / 2 in
+    let keep = Array.make (max 1 t.n_clauses) true in
+    List.iteri (fun i ci -> if i < n_drop then keep.(ci) <- false) order;
+    compact t keep;
+    t.max_learnts <- t.max_learnts + (t.max_learnts / 2)
+  end
+
+(* Internal-consistency audit for the test suite: every reason index
+   must point at a live clause whose first literal is the implied one,
+   and every stored clause must be watched by exactly its first two
+   literals. *)
+let self_check t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  for v = 1 to t.nvars do
+    let r = t.reason.(v) in
+    if r >= 0 then
+      if r >= t.n_clauses then err "var %d: reason %d out of range" v r
+      else begin
+        let c = t.clauses.(r) in
+        if Array.length c.lits = 0 || var_of c.lits.(0) <> v then
+          err "var %d: reason clause %d does not assert it" v r;
+        if t.assign.(v) = v_undef then err "var %d: unassigned but has a reason" v
+      end
+  done;
+  for ci = 0 to t.n_clauses - 1 do
+    let c = t.clauses.(ci) in
+    if Array.length c.lits < 2 then err "clause %d: fewer than 2 literals" ci
+    else begin
+      let watched_by l = List.mem ci t.watches.(l) in
+      if not (watched_by c.lits.(0)) then err "clause %d: lit 0 not watching" ci;
+      if not (watched_by c.lits.(1)) then err "clause %d: lit 1 not watching" ci
+    end;
+    (* the rescale guards must keep every activity finite — inf/nan
+       here would poison the reduce_db sort ordering *)
+    if not (Float.is_finite c.activity) then err "clause %d: non-finite activity" ci
+  done;
+  for v = 1 to t.nvars do
+    if not (Float.is_finite t.activity.(v)) then err "var %d: non-finite activity" v
+  done;
+  Array.iteri
+    (fun l ws ->
+      List.iter
+        (fun ci ->
+          if ci < 0 || ci >= t.n_clauses then err "watch list %d: clause %d out of range" l ci)
+        ws)
+    t.watches;
+  List.rev !errs
 
 (* ---------- Luby restarts ---------- *)
 
@@ -446,6 +706,7 @@ let luby x =
 (* ---------- main search ---------- *)
 
 let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumptions = []) t =
+  t.conflict_assumps <- [];
   if not t.ok then Unsat
   else begin
     cancel_until t 0;
@@ -454,60 +715,81 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumpti
       Unsat
     end
     else begin
-      let start_conflicts = t.conflicts in
-      let result = ref Unknown in
-      let finished = ref false in
-      let restart_count = ref 0 in
-      (* wall-clock polling, amortised: consult [should_stop] every few
-         hundred loop iterations so the hook stays off the hot path *)
-      let polls = ref 0 in
-      let stop_requested = ref false in
-      let poll_stop () =
-        if not !stop_requested then begin
-          incr polls;
-          if !polls land 255 = 0 && should_stop () then stop_requested := true
-        end;
-        !stop_requested
-      in
-      while not !finished do
-        let budget = 100 * luby !restart_count in
-        incr restart_count;
-        let local_conflicts = ref 0 in
-        let restart_now = ref false in
-        while not (!finished || !restart_now) do
-          let confl = propagate t in
-          if confl >= 0 then begin
-            t.conflicts <- t.conflicts + 1;
-            incr local_conflicts;
-            if decision_level t = 0 then begin
-              t.ok <- false;
-              result := Unsat;
+      let assumps = Array.of_list assumptions in
+      Array.iter
+        (fun a ->
+          if var_of a < 1 || var_of a > t.nvars then
+            invalid_arg "Sat.solve: unknown assumption variable")
+        assumps;
+      if t.trail_size > t.simp_assigns then simplify t;
+      if not t.ok then Unsat
+      else begin
+        let start_conflicts = t.conflicts in
+        let result = ref Unknown in
+        let finished = ref false in
+        let restart_count = ref 0 in
+        (* wall-clock polling, amortised: consult [should_stop] every few
+           hundred loop iterations so the hook stays off the hot path *)
+        let polls = ref 0 in
+        let stop_requested = ref false in
+        let poll_stop () =
+          if not !stop_requested then begin
+            incr polls;
+            if !polls land 255 = 0 && should_stop () then stop_requested := true
+          end;
+          !stop_requested
+        in
+        while not !finished do
+          let budget = 100 * luby !restart_count in
+          incr restart_count;
+          let local_conflicts = ref 0 in
+          let restart_now = ref false in
+          while not (!finished || !restart_now) do
+            let confl = propagate t in
+            if confl >= 0 then begin
+              t.conflicts <- t.conflicts + 1;
+              incr local_conflicts;
+              if decision_level t = 0 then begin
+                t.ok <- false;
+                result := Unsat;
+                finished := true
+              end
+              else begin
+                let learnt, back_level, lbd = analyze t confl in
+                cancel_until t back_level;
+                add_learnt t learnt lbd;
+                decay_activities t
+              end
+            end
+            else if t.conflicts - start_conflicts >= max_conflicts || poll_stop () then begin
+              result := Unknown;
               finished := true
             end
+            else if !local_conflicts >= budget then restart_now := true
             else begin
-              let learnt, back_level = analyze t confl in
-              cancel_until t back_level;
-              add_learnt t learnt;
-              decay_activities t
-            end
-          end
-          else if t.conflicts - start_conflicts >= max_conflicts || poll_stop () then begin
-            result := Unknown;
-            finished := true
-          end
-          else if !local_conflicts >= budget then restart_now := true
-          else if List.exists (fun a -> lit_value t a = v_false) assumptions then begin
-            (* an assumption is contradicted under the current prefix:
-               UNSAT under these assumptions (the instance itself stays ok) *)
-            result := Unsat;
-            finished := true
-          end
-          else begin
-            match List.find_opt (fun a -> lit_value t a = v_undef) assumptions with
-            | Some a ->
-                new_decision_level t;
-                enqueue t a (-1)
-            | None ->
+              (* assumption cursor: the decision level doubles as the
+                 index of the next assumption to establish, so the
+                 prefix is maintained in O(1) per decision — no scan of
+                 the assumption list *)
+              let dl = decision_level t in
+              if dl < Array.length assumps then begin
+                let a = assumps.(dl) in
+                let v = lit_value t a in
+                if v = v_true then
+                  (* already implied: dedicate an empty level so the
+                     cursor stays aligned with the decision level *)
+                  new_decision_level t
+                else if v = v_false then begin
+                  t.conflict_assumps <- analyze_final t a;
+                  result := Unsat;
+                  finished := true
+                end
+                else begin
+                  new_decision_level t;
+                  enqueue t a (-1)
+                end
+              end
+              else begin
                 let rec pick () =
                   let v = heap_pop t in
                   if v = -1 then -1 else if t.assign.(v) = v_undef then v else pick ()
@@ -522,13 +804,31 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumpti
                   new_decision_level t;
                   enqueue t (if t.phase.(v) then pos v else neg v) (-1)
                 end
+              end
+            end
+          done;
+          if !restart_now then begin
+            cancel_until t 0;
+            if propagate t >= 0 then begin
+              t.ok <- false;
+              result := Unsat;
+              finished := true
+            end
+            else begin
+              if t.trail_size > t.simp_assigns then simplify t;
+              if t.n_learnts > t.max_learnts then reduce_db t;
+              if not t.ok then begin
+                result := Unsat;
+                finished := true
+              end
+            end
           end
         done;
-        if !restart_now then cancel_until t 0
-      done;
-      ignore t.seen_buf;
-      !result
+        !result
+      end
     end
   end
 
 let stats t = (t.conflicts, t.decisions, t.propagations)
+let n_learnts t = t.n_learnts
+let n_reduces t = t.reduces

@@ -1,6 +1,11 @@
 (** CDCL SAT solver in the MiniSat lineage: two-watched-literal
     propagation, VSIDS decision heap, first-UIP learning with
-    backjumping, phase saving, Luby restarts.
+    backjumping, phase saving, Luby restarts — plus the incremental
+    machinery the modulo-scheduling II sweep leans on: solving under
+    assumption literals with a failed-assumption core, LBD-guided
+    learnt-DB reduction and root-level simplification, so one solver
+    instance can be reused across many related queries while keeping
+    its learnt clauses, variable activities and saved phases.
 
     Literals: variable [v] (1-based) gives literals [pos v] and
     [neg v]; [negate] flips polarity. *)
@@ -17,7 +22,12 @@ val lit_to_string : lit -> string
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+(** [reduce_base] is the initial learnt-clause budget before the first
+    [reduce_db] pass (default 4000; the budget then grows by half at
+    every reduction).  Tests use a tiny budget to exercise reduction
+    cheaply. *)
+val create : ?reduce_base:int -> unit -> t
+
 val n_vars : t -> int
 
 (** Fresh variable (1-based index). *)
@@ -32,14 +42,44 @@ val add_clause : t -> lit list -> unit
 
 (** [solve ?max_conflicts ?should_stop ?assumptions t]: [Unknown] when
     the conflict budget runs out or [should_stop] (polled at amortised
-    checkpoints, e.g. a wall-clock deadline) returns true; UNSAT under
-    assumptions leaves the instance usable. After [Sat], read the model
-    with {!value}. *)
+    checkpoints, e.g. a wall-clock deadline) returns true.
+
+    Assumptions are established one per decision level before any free
+    decision (the decision level is the assumption cursor, so the
+    prefix costs O(1) per decision).  UNSAT under assumptions leaves
+    the instance usable and records a failed-assumption core
+    ({!conflict_assumptions}); UNSAT with an empty core means the
+    instance itself is unsatisfiable ({!is_ok} turns false).  After
+    [Sat], read the model with {!value}. *)
 val solve :
   ?max_conflicts:int -> ?should_stop:(unit -> bool) -> ?assumptions:lit list -> t -> result
+
+(** After an [Unsat] answer under assumptions: a subset of the
+    assumption literals whose conjunction is already inconsistent with
+    the instance (re-solving under exactly this core is again
+    [Unsat]).  Empty when the last [Unsat] was instance-level, and
+    after [Sat]/[Unknown]. *)
+val conflict_assumptions : t -> lit list
+
+(** False once the instance is unsatisfiable outright (empty clause,
+    root-level conflict) — as opposed to UNSAT under assumptions,
+    which keeps the instance usable. *)
+val is_ok : t -> bool
 
 (** Model value of a variable (meaningful after [Sat]). *)
 val value : t -> int -> bool
 
 (** (conflicts, decisions, propagations) since creation. *)
 val stats : t -> int * int * int
+
+(** Learnt clauses currently stored (after any reduction). *)
+val n_learnts : t -> int
+
+(** [reduce_db] passes run so far. *)
+val n_reduces : t -> int
+
+(** Internal-consistency audit for tests: reason indices must point at
+    live clauses asserting their variable, and every stored clause
+    must be watched by its first two literals.  Returns human-readable
+    violations; [[]] means healthy. *)
+val self_check : t -> string list

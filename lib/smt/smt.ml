@@ -122,12 +122,13 @@ let check_theory t active_edges =
     Some !cycle
   end
 
-let solve ?(max_rounds = 10_000) ?(max_conflicts = max_int) ?(should_stop = fun () -> false) t =
+let solve ?(max_rounds = 10_000) ?(max_conflicts = max_int) ?(should_stop = fun () -> false)
+    ?(assumptions = []) t =
   let rec loop round =
     if round >= max_rounds || should_stop () then Unknown_
     else begin
       t.rounds <- round + 1;
-      match Sat.solve ~max_conflicts ~should_stop t.sat with
+      match Sat.solve ~max_conflicts ~should_stop ~assumptions t.sat with
       | Sat.Unsat -> Unsat_
       | Sat.Unknown -> Unknown_
       | Sat.Sat ->
@@ -173,5 +174,6 @@ let bool_value t l =
   let v = Sat.var_of l in
   if Sat.is_pos l then Sat.value t.sat v else not (Sat.value t.sat v)
 
+let conflict_assumptions t = Sat.conflict_assumptions t.sat
 let rounds t = t.rounds
 let sat_solver t = t.sat

@@ -105,6 +105,17 @@ echo "$SURV" | grep -q "survived"
 # cheap rung (untouched/route-only/re-place/ii-bump), not all fallback
 echo "$SURV" | grep -Eq "repaired \((untouched|route-only|re-place|ii-bump)\)"
 
+# incremental SAT sweep vs its cold baseline: both mappers must map
+# the same multi-attempt sweep (optimal II > MII on a 2x2) to the same
+# certified-optimal II, and the sweep must report a real elapsed time
+INC=$("$OCGRA" map -k absdiff -m sat --rows 2 --cols 2)
+COLD=$("$OCGRA" map -k absdiff -m sat-cold --rows 2 --cols 2)
+echo "$INC" | grep -q "II=3"
+echo "$COLD" | grep -q "II=3"
+echo "$INC" | grep -q "II optimal"
+echo "$INC" | grep -q "2 attempts"
+! echo "$INC" | grep -q "in 0.00s"
+
 # incremental repair on the map path: degrading after mapping must
 # certify through a rung and print the diagnosis
 "$OCGRA" map -k saxpy -m modulo-greedy --repair 6 --fault-seed 1 \

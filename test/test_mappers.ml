@@ -110,6 +110,93 @@ let test_seed_determinism () =
   in
   checkb "same result" true (run () = run ())
 
+(* ---------- incremental II sweep vs cold-per-II baseline ---------- *)
+
+let small_cgra n = Ocgra_arch.Cgra.uniform ~rows:n ~cols:n ()
+
+let sweep_verdict ~incremental (k : Kernels.t) size max_ii =
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:(small_cgra size) ~max_ii () in
+  let m, _, _, _ = Ocgra_mappers.Sat_temporal.map ~incremental p (Rng.create 11) in
+  (p, m)
+
+(* the shared-instance sweep and the cold baseline must agree on the
+   SAT/UNSAT verdict and on the final II (models may differ) *)
+let check_equivalent (k : Kernels.t) size max_ii =
+  let p, mi = sweep_verdict ~incremental:true k size max_ii in
+  let _, mc = sweep_verdict ~incremental:false k size max_ii in
+  let label = Printf.sprintf "%s %dx%d" k.name size size in
+  (match (mi, mc) with
+  | None, None -> ()
+  | Some a, Some b ->
+      checkb (label ^ " same final II") true (a.Mapping.ii = b.Mapping.ii)
+  | _ -> Alcotest.fail (label ^ ": verdicts differ between incremental and cold"));
+  List.iter
+    (fun m ->
+      match m with
+      | Some m ->
+          Alcotest.(check (list string)) (label ^ " valid") [] (Check.validate p m)
+      | None -> ())
+    [ mi; mc ]
+
+(* deterministic multi-attempt cases (optimal II > MII), where the
+   incremental sweep actually carries state across candidate IIs *)
+let test_cold_incremental_multi_attempt () =
+  check_equivalent (Kernels.running_max ()) 2 8;
+  check_equivalent (Kernels.absdiff ()) 2 8;
+  (* all-UNSAT sweep: both modes must refute every candidate *)
+  check_equivalent (Kernels.fir4 ()) 2 8
+
+let qcheck_cold_incremental_equivalent =
+  let combos =
+    [|
+      ("dot-product", 2); ("dot-product", 3); ("dot-product", 4);
+      ("saxpy", 2); ("saxpy", 3); ("saxpy", 4);
+      ("horner", 2); ("horner", 3); ("horner", 4);
+      ("iir2", 2); ("iir2", 3);
+      ("running-max", 2); ("running-max", 3);
+      ("matvec2", 2);
+    |]
+  in
+  QCheck.Test.make ~name:"cold and incremental sweeps agree" ~count:14
+    QCheck.(int_bound (Array.length combos - 1))
+    (fun i ->
+      let name, size = combos.(i) in
+      let k = Kernels.find name in
+      let p, mi = sweep_verdict ~incremental:true k size 8 in
+      let _, mc = sweep_verdict ~incremental:false k size 8 in
+      match (mi, mc) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Mapping.ii = b.Mapping.ii
+          && Check.validate p a = [] && Check.validate p b = []
+      | _ -> false)
+
+(* regression: the sat mapper used to report elapsed_s = 0.0 *)
+let test_sat_elapsed_reported () =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 ~max_ii:8 () in
+  let mapper = Ocgra_mappers.Registry.find "sat" in
+  let o = mapper.Mapper.map p (Rng.create 3) Deadline.none Ocgra_obs.Ctx.off in
+  checkb "mapped" true (o.Mapper.mapping <> None);
+  checkb "elapsed measured" true (o.Mapper.elapsed_s > 0.0 && o.Mapper.elapsed_s < 300.0)
+
+(* byte-determinism across worker counts: a single-tier race degrades
+   to the sequential harness, so the sat mapping must be bit-identical
+   at any worker count *)
+let test_sat_worker_determinism () =
+  let k = Kernels.absdiff () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:(small_cgra 2) ~max_ii:8 () in
+  let chain = [ Ocgra_mappers.Registry.find "sat" ] in
+  let o1 = Mapper.Harness.race ~seed:7 ~workers:1 chain p in
+  let o4 = Mapper.Harness.race ~seed:7 ~workers:4 chain p in
+  checkb "both map" true (o1.Mapper.mapping <> None && o4.Mapper.mapping <> None);
+  checkb "same mapping bytes" true
+    (Marshal.to_string o1.Mapper.mapping [] = Marshal.to_string o4.Mapper.mapping []);
+  (* and plain repetition with the same seed is byte-stable too *)
+  let o1' = Mapper.Harness.race ~seed:7 ~workers:1 chain p in
+  checkb "repeat run byte-identical" true
+    (Marshal.to_string o1.Mapper.mapping [] = Marshal.to_string o1'.Mapper.mapping [])
+
 (* decoupled scheduling: the list scheduler respects resources & deps *)
 let test_list_schedule_properties () =
   let k = Kernels.fir4 () in
@@ -149,5 +236,12 @@ let () =
           Alcotest.test_case "spatial recurrence fails" `Quick test_spatial_recurrence_fails;
           Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
           Alcotest.test_case "list scheduler properties" `Quick test_list_schedule_properties;
+        ] );
+      ( "incremental sat",
+        [
+          Alcotest.test_case "multi-attempt sweeps agree" `Slow test_cold_incremental_multi_attempt;
+          QCheck_alcotest.to_alcotest qcheck_cold_incremental_equivalent;
+          Alcotest.test_case "elapsed_s reported" `Quick test_sat_elapsed_reported;
+          Alcotest.test_case "worker-count determinism" `Slow test_sat_worker_determinism;
         ] );
     ]
