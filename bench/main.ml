@@ -33,6 +33,15 @@ let bench_journal =
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Every BENCH_*.json snapshot opens with the same stamp: a schema
+   version plus the bench name, which is what lets `ocgra report` /
+   `bench diff` refuse to compare snapshots of different shape or
+   vintage.  Bump the version whenever a writer changes shape. *)
+let bench_schema = 1
+
+let bench_stamp oc name =
+  output_string oc (Printf.sprintf "{\n\"schema\": %d,\n\"bench\": \"%s\",\n" bench_schema name)
+
 (* ------------------------------------------------------------------ *)
 (* T1a: Table I, bibliographic (generated from the corpus)            *)
 (* ------------------------------------------------------------------ *)
@@ -80,7 +89,8 @@ let write_bench_json path records =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\n\"bench\": \"table1-empirical\",\n\"cells\": [\n";
+      bench_stamp oc "table1-empirical";
+      output_string oc "\"cells\": [\n";
       List.iteri
         (fun i (mapper, kernel, ii, proven, dt, counters) ->
           if i > 0 then output_string oc ",\n";
@@ -172,7 +182,7 @@ let t1b () =
     in
     (* a private metrics sink per cell: counter deltas attribute to
        exactly this (mapper, kernel) pair even across worker domains *)
-    let obs = Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics:(Ocgra_obs.Metrics.create ()) in
+    let obs = Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics:(Ocgra_obs.Metrics.create ()) () in
     let o = Ocgra_core.Mapper.run mapper ~seed:7 ~obs p in
     let dt = Ocgra_core.Deadline.now () -. t0 in
     let shown =
@@ -350,9 +360,10 @@ let write_repair_json path ~seed ~steps_per_kernel results =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      bench_stamp oc "repair-ladder";
       output_string oc
-        (Printf.sprintf "{\n\"bench\": \"repair-ladder\",\n\"seed\": %d,\n\"steps_per_kernel\": %d,\n\"steps\": [\n"
-           seed steps_per_kernel);
+        (Printf.sprintf "\"seed\": %d,\n\"steps_per_kernel\": %d,\n\"steps\": [\n" seed
+           steps_per_kernel);
       List.iteri
         (fun i (kernel, (s : Ocgra_sim.Reliability.survivor_step)) ->
           if i > 0 then output_string oc ",\n";
@@ -498,11 +509,10 @@ let write_sat_sweep_json path rows (tc : sat_sweep_run) (ti : sat_sweep_run) =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      bench_stamp oc "sat-incremental-sweep";
       output_string oc
-        (Printf.sprintf
-           "{\n\"bench\": \"sat-incremental-sweep\",\n\"seed\": %d,\n\"max_ii\": %d,\n\
-            \"kernels\": [\n"
-           sat_sweep_seed sat_sweep_max_ii);
+        (Printf.sprintf "\"seed\": %d,\n\"max_ii\": %d,\n\"kernels\": [\n" sat_sweep_seed
+           sat_sweep_max_ii);
       List.iteri
         (fun i (kernel, grid, mii, cold, inc) ->
           if i > 0 then output_string oc ",\n";
@@ -1090,8 +1100,36 @@ let run_everything () =
   bechamel_suite ();
   print_endline "\nAll artifacts regenerated."
 
+(* `bench diff BASELINE CANDIDATE` — the same snapshot-diff engine as
+   `ocgra report`, exposed where the snapshots are produced.  Exit 1
+   on regression, 2 on unreadable/mismatched snapshots. *)
+let bench_diff paths =
+  let module D = Ocgra_obs.Bench_diff in
+  match paths with
+  | [ base_path; cand_path ] -> (
+      let load path =
+        match D.load path with
+        | Ok s -> s
+        | Error e ->
+            Printf.eprintf "bench diff: %s\n" e;
+            exit 2
+      in
+      let baseline = load base_path and candidate = load cand_path in
+      match D.diff ~baseline ~candidate () with
+      | Error e ->
+          Printf.eprintf "bench diff: %s\n" e;
+          exit 2
+      | Ok r ->
+          print_string (D.render_human r);
+          if r.D.structural <> [] then exit 2 else if r.D.regressions <> [] then exit 1)
+  | _ ->
+      prerr_endline "usage: bench/main.exe -- diff BASELINE.json CANDIDATE.json";
+      exit 2
+
 let () =
-  if t1b_only then begin
+  if List.mem "diff" args then
+    bench_diff (List.filter (fun a -> a <> "diff") args)
+  else if t1b_only then begin
     t1b ();
     print_endline "\nEmpirical sweep regenerated."
   end

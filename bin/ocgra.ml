@@ -165,20 +165,36 @@ let metrics_t =
            $(b,key=value) lines otherwise.  Dumps are name-sorted with integer values only, so \
            two runs that did the same work are byte-identical.")
 
+let events_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's structured event log to $(docv) as JSON lines (one object per line): \
+           per-II SAT convergence, repair-ladder rungs, harness tier verdicts, campaign trial \
+           outcomes.  Events carry no wall-clock payloads, so for a fixed seed the log is \
+           byte-identical across worker counts.")
+
 (* The observability context is live exactly when at least one output
-   file was asked for; with neither flag the whole stack sees
-   [Ctx.off] and pays one branch per instrumented site. *)
-let mk_obs trace metrics =
-  match (trace, metrics) with
-  | None, None -> Ocgra_obs.Ctx.off
+   file was asked for; with no flag the whole stack sees [Ctx.off] and
+   pays one branch per instrumented site. *)
+let mk_obs trace metrics events =
+  match (trace, metrics, events) with
+  | None, None, None -> Ocgra_obs.Ctx.off
   | _ ->
       Ocgra_obs.Ctx.v
         ~trace:(if trace <> None then Ocgra_obs.Trace.create () else Ocgra_obs.Trace.off)
         ~metrics:(if metrics <> None then Ocgra_obs.Metrics.create () else Ocgra_obs.Metrics.off)
+        ~events:(if events <> None then Ocgra_obs.Events.create () else Ocgra_obs.Events.off)
+        ()
 
-let write_obs obs trace metrics =
+let write_obs obs trace metrics events =
   Option.iter (Ocgra_obs.Export.write_chrome_trace (Ocgra_obs.Ctx.trace obs)) trace;
-  Option.iter (Ocgra_obs.Export.write_metrics (Ocgra_obs.Ctx.metrics obs)) metrics
+  Option.iter
+    (Ocgra_obs.Export.write_metrics ~hists:(Ocgra_obs.Ctx.hists obs) (Ocgra_obs.Ctx.metrics obs))
+    metrics;
+  Option.iter (Ocgra_obs.Export.write_events (Ocgra_obs.Ctx.events obs)) events
 
 (* Map through the fallback harness when a chain is given, else through
    the single named mapper; both paths validate the result.  With
@@ -229,11 +245,11 @@ let problem_of kernel spatial cgra =
 
 let map_cmd =
   let run kernel mapper rows cols topo hetero seed spatial faults fault_seed deadline fallback
-      retries repair jobs trace metrics =
+      retries repair jobs trace metrics events =
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     let k, p = problem_of kernel spatial cgra in
     Printf.printf "%s\n" (Ocgra_core.Problem.describe p);
-    let obs = mk_obs trace metrics in
+    let obs = mk_obs trace metrics events in
     let o = run_mapper ~obs ~retries mapper fallback seed deadline jobs p in
     (match o.mapping with
     | None -> Printf.printf "mapping failed after %d attempts (%s)\n" o.attempts o.note
@@ -281,18 +297,18 @@ let map_cmd =
           (fun tr -> Printf.printf "  %s\n" (Ocgra_core.Mapper.report_to_string tr))
           r.Ocgra_core.Repair.trail
     | _ -> ());
-    write_obs obs trace metrics
+    write_obs obs trace metrics events
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a kernel with a mapper")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ spatial_t
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ retries_t $ repair_t $ jobs_t
-      $ trace_t $ metrics_t)
+      $ trace_t $ metrics_t $ events_t)
 
 let sim_cmd =
   let run kernel mapper rows cols topo hetero seed iters faults fault_seed deadline fallback harden
-      campaign fault_rate retries chaos checkpoint resume survivor jobs trace metrics =
-    let obs = mk_obs trace metrics in
+      campaign fault_rate retries chaos checkpoint resume survivor jobs trace metrics events =
+    let obs = mk_obs trace metrics events in
     let cgra = mk_cgra rows cols topo hetero faults fault_seed in
     if faults > 0 then
       Printf.printf "faults: %s\n"
@@ -408,14 +424,83 @@ let sim_cmd =
               Printf.printf "survivor (seed %d): %s\n" fault_seed
                 (Ocgra_sim.Reliability.survivor_to_string rep)
             end));
-    write_obs obs trace metrics
+    write_obs obs trace metrics events
   in
   let iters_t = Arg.(value & opt int 12 & info [ "iters" ] ~doc:"Loop iterations.") in
   Cmd.v (Cmd.info "sim" ~doc:"Map, simulate and verify a kernel")
     Term.(
       const run $ kernel_t $ mapper_t $ rows_t $ cols_t $ topo_t $ hetero_t $ seed_t $ iters_t
       $ faults_t $ fault_seed_t $ deadline_t $ fallback_t $ harden_t $ campaign_t $ fault_rate_t
-      $ retries_t $ chaos_t $ checkpoint_t $ resume_t $ survivor_t $ jobs_t $ trace_t $ metrics_t)
+      $ retries_t $ chaos_t $ checkpoint_t $ resume_t $ survivor_t $ jobs_t $ trace_t $ metrics_t
+      $ events_t)
+
+(* Perf-regression gate over BENCH_*.json snapshots.  Exit codes are
+   the contract CI scripts on: 0 clean (improvements allowed), 1
+   regression beyond tolerance, 2 unreadable/mismatched snapshots or
+   structural drift. *)
+let report_cmd =
+  let run candidate against tol_time tol_count json_out =
+    let module D = Ocgra_obs.Bench_diff in
+    let load_or_die path =
+      match D.load path with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "report: %s\n" e;
+          exit 2
+    in
+    let baseline = load_or_die against in
+    (* no candidate = self-diff: a snapshot must always pass against
+       itself, which is the gate's own sanity check *)
+    let candidate = match candidate with Some p -> load_or_die p | None -> baseline in
+    let tol = { D.time_rel = tol_time; count_rel = tol_count } in
+    match D.diff ~tol ~baseline ~candidate () with
+    | Error e ->
+        Printf.eprintf "report: %s\n" e;
+        exit 2
+    | Ok r ->
+        print_string (D.render_human r);
+        Option.iter (fun path -> Ocgra_obs.Export.write_file path (D.render_json r)) json_out;
+        if r.D.structural <> [] then exit 2 else if r.D.regressions <> [] then exit 1
+  in
+  let candidate_t =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"CANDIDATE"
+          ~doc:"Candidate snapshot to judge; omitted = self-diff the baseline (always exits 0).")
+  in
+  let against_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "against" ] ~docv:"BASELINE" ~doc:"Baseline BENCH_*.json snapshot.")
+  in
+  let tol_time_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tol-time" ]
+          ~doc:"Relative tolerance for wall-clock leaves (0.25 = 25% slower still passes).")
+  in
+  let tol_count_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tol-count" ]
+          ~doc:
+            "Relative tolerance for deterministic work counts (conflicts, decisions, \
+             propagations); default exact.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the machine-readable diff report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Diff two BENCH_*.json snapshots and exit non-zero on regression (the CI perf gate). \
+          Schema-stamped snapshots only; mismatched schema or bench names are refused.")
+    Term.(const run $ candidate_t $ against_t $ tol_time_t $ tol_count_t $ json_t)
 
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in
@@ -427,4 +512,7 @@ let timeline_cmd =
 
 let () =
   let info = Cmd.info "ocgra" ~doc:"Twenty years of CGRA mapping, as one toolkit" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; arch_cmd; map_cmd; sim_cmd; table1_cmd; timeline_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; arch_cmd; map_cmd; sim_cmd; report_cmd; table1_cmd; timeline_cmd ]))

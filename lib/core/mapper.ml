@@ -162,7 +162,15 @@ module Harness = struct
     let n = List.length chain in
     let total_attempts = ref 0 in
     let reports = ref [] in
-    let record r = reports := r :: !reports in
+    let record r =
+      reports := r :: !reports;
+      Obs.event obs ~cat:"harness" "harness.tier"
+        [
+          ("tier", Ocgra_obs.Events.Str r.tier);
+          ("try", Ocgra_obs.Events.Int r.try_no);
+          ("verdict", Ocgra_obs.Events.Str (verdict_to_string r.verdict));
+        ]
+    in
     let trail () = List.rev !reports in
     let failures () =
       String.concat "; "
@@ -317,6 +325,17 @@ module Harness = struct
         }
       in
       let trail = List.init n report in
+      (* emitted post-hoc in tier order, not from inside the racing
+         domains, so the combined event log stays deterministic *)
+      List.iter
+        (fun r ->
+          Obs.event obs ~cat:"harness" "harness.tier"
+            [
+              ("tier", Ocgra_obs.Events.Str r.tier);
+              ("try", Ocgra_obs.Events.Int r.try_no);
+              ("verdict", Ocgra_obs.Events.Str (verdict_to_string r.verdict));
+            ])
+        trail;
       let losers i =
         String.concat "; "
           (List.map report_to_string (List.filteri (fun j _ -> j <> i) trail))

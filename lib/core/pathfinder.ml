@@ -135,6 +135,13 @@ let route_all ?(obs = Ocgra_obs.Ctx.off) ?frozen ?only ?init_routes (p : Problem
     else begin
       (* rip up and re-route every negotiated edge under current prices *)
       Ocgra_obs.Ctx.incr obs "pathfinder.iterations";
+      (* distribution of rip-up sizes and of congestion at each
+         iteration: full route_all runs rip everything, repair runs a
+         handful of broken edges — the histogram shows which *)
+      if Ocgra_obs.Hist.enabled (Ocgra_obs.Ctx.hists obs) then begin
+        Ocgra_obs.Ctx.observe obs "pathfinder.ripup" (Array.length negotiated);
+        Ocgra_obs.Ctx.observe obs "pathfinder.overuse" (overused ())
+      end;
       let ok = ref true in
       Array.iter
         (fun e ->

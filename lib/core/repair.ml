@@ -354,6 +354,22 @@ let repair ?(seed = 42) ?(deadline = Deadline.none) ?(obs = Obs.off) ?(fallback 
                 | Some _ -> Mapper.Repaired rung
                 | None -> if Deadline.expired deadline then Mapper.Expired else Mapper.Failed
               in
+              (* per-rung elapsed distribution (microseconds — an
+                 integer histogram) and the ladder transition as an
+                 event; the event carries no timing so repair event
+                 logs stay deterministic for a fixed scenario *)
+              Obs.observe obs ("repair.rung_us." ^ name)
+                (int_of_float (took_s *. 1e6));
+              Obs.event obs ~cat:"repair" "repair.rung"
+                [
+                  ("rung", Ocgra_obs.Events.Str name);
+                  ( "verdict",
+                    Ocgra_obs.Events.Str
+                      (match verdict with
+                      | Mapper.Repaired _ -> "repaired"
+                      | Mapper.Expired -> "expired"
+                      | _ -> "failed") );
+                ];
               reports :=
                 { Mapper.tier = "repair:" ^ name; try_no = 0; verdict; took_s; detail; counters = [] }
                 :: !reports;

@@ -58,6 +58,8 @@ type t = {
   mutable failures : int;
   mutable decisions : int;
   mutable propagations : int;
+  depth_counts : int array; (* decisions by search depth (exact, tail at 63);
+                               flushed into Obs histograms by the mapper wrappers *)
 }
 
 and constr = {
@@ -78,6 +80,7 @@ let create () =
     failures = 0;
     decisions = 0;
     propagations = 0;
+    depth_counts = Array.make 64 0;
   }
 
 let n_vars t = t.nvars
@@ -345,7 +348,7 @@ let solve ?(max_failures = max_int) ?(should_stop = fun () -> false)
     end;
     !stop_requested
   in
-  let rec search () =
+  let rec search depth =
     if t.failures > max_failures || poll_stop () then ()
     else if not (propagate_all t) then t.failures <- t.failures + 1
     else begin
@@ -360,14 +363,16 @@ let solve ?(max_failures = max_int) ?(should_stop = fun () -> false)
               if t.failures <= max_failures && !solution = None && not !stop_requested then begin
                 let snap = snapshot t in
                 t.decisions <- t.decisions + 1;
-                if assign t v x then search () else t.failures <- t.failures + 1;
+                let di = min depth 63 in
+                t.depth_counts.(di) <- t.depth_counts.(di) + 1;
+                if assign t v x then search (depth + 1) else t.failures <- t.failures + 1;
                 restore t snap
               end)
             values
     end
   in
   requeue_all t;
-  (try search () with Solution_found -> ());
+  (try search 0 with Solution_found -> ());
   !solution
 
 (* Count all solutions (for tests on small instances). *)
@@ -424,6 +429,7 @@ let minimize ?(max_failures = max_int) ?(should_stop = fun () -> false) t obj =
   !best
 
 let stats t = (t.failures, t.decisions, t.propagations)
+let dist_depth t = Array.copy t.depth_counts
 
 let describe_constraints t =
   List.init t.n_constraints (fun i -> t.constraints.(i).describe)

@@ -65,4 +65,9 @@ val minimize :
     propagation is one constraint popped off the queue and filtered. *)
 val stats : t -> int * int * int
 
+(** 64 cells: decisions by search depth (exact, tail bucket at 63) —
+    the node-depth distribution the mapper wrappers flush into
+    observability histograms. *)
+val dist_depth : t -> int array
+
 val describe_constraints : t -> string list

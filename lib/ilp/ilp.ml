@@ -29,6 +29,9 @@ type stats = {
   mutable lp_solves : int;
   mutable pruned : int; (* nodes whose relaxation was dominated by the incumbent *)
   mutable improved : int; (* incumbent replacements (bound improvements) *)
+  mutable max_depth : int;
+  depth_counts : int array; (* nodes by branch depth (exact, tail bucket at 63);
+                               flushed into Obs histograms by the mapper wrappers *)
 }
 
 let int_tol = 1e-6
@@ -37,7 +40,10 @@ let is_integral x = Float.abs (x -. Float.round x) < int_tol
 
 let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) =
   if Array.length p.kinds <> p.lp.n then invalid_arg "Ilp.solve: kinds length mismatch";
-  let stats = { nodes = 0; lp_solves = 0; pruned = 0; improved = 0 } in
+  let stats =
+    { nodes = 0; lp_solves = 0; pruned = 0; improved = 0; max_depth = 0;
+      depth_counts = Array.make 64 0 }
+  in
   let incumbent = ref None in
   let budget_hit = ref false in
   let better value =
@@ -46,11 +52,14 @@ let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) 
     | Some (best, _) -> if p.lp.maximize then value > best +. int_tol else value < best -. int_tol
   in
   (* Extra bound rows accumulated along the branch-and-bound path. *)
-  let rec branch extra_rows =
+  let rec branch depth extra_rows =
     if stats.nodes >= max_nodes || should_stop () then budget_hit := true
     else begin
       stats.nodes <- stats.nodes + 1;
       stats.lp_solves <- stats.lp_solves + 1;
+      let di = min depth 63 in
+      stats.depth_counts.(di) <- stats.depth_counts.(di) + 1;
+      if depth > stats.max_depth then stats.max_depth <- depth;
       let lp = { p.lp with rows = p.lp.rows @ extra_rows } in
       match Lp.solve lp with
       | Lp.Infeasible -> ()
@@ -98,18 +107,18 @@ let solve ?(max_nodes = 200_000) ?(should_stop = fun () -> false) (p : problem) 
               in
               (* explore the side closer to the LP value first *)
               if x -. fl < ce -. x then begin
-                branch (row fl Lp.Le :: extra_rows);
-                branch (row ce Lp.Ge :: extra_rows)
+                branch (depth + 1) (row fl Lp.Le :: extra_rows);
+                branch (depth + 1) (row ce Lp.Ge :: extra_rows)
               end
               else begin
-                branch (row ce Lp.Ge :: extra_rows);
-                branch (row fl Lp.Le :: extra_rows)
+                branch (depth + 1) (row ce Lp.Ge :: extra_rows);
+                branch (depth + 1) (row fl Lp.Le :: extra_rows)
               end
             end
           end
     end
   in
-  match branch [] with
+  match branch 0 [] with
   | () -> (
       match (!incumbent, !budget_hit) with
       | Some (value, solution), false -> (Optimal { value; solution }, stats)

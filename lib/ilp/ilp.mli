@@ -27,6 +27,11 @@ type stats = {
   mutable lp_solves : int;
   mutable pruned : int;  (** nodes dominated by the incumbent's bound *)
   mutable improved : int;  (** incumbent replacements (bound improvements) *)
+  mutable max_depth : int;
+  depth_counts : int array;
+      (** 64 cells: nodes by branch depth (exact, tail bucket at 63) —
+          the node-depth distribution the mapper wrappers flush into
+          observability histograms *)
 }
 
 (** [should_stop] is polled once per branch-and-bound node (each node

@@ -26,7 +26,8 @@ let flush_stats obs cp =
   let failures, decisions, propagations = Cp.stats cp in
   Ocgra_obs.Ctx.add obs "cp.failures" failures;
   Ocgra_obs.Ctx.add obs "cp.decisions" decisions;
-  Ocgra_obs.Ctx.add obs "cp.propagations" propagations
+  Ocgra_obs.Ctx.add obs "cp.propagations" propagations;
+  Array.iteri (fun d k -> Ocgra_obs.Ctx.observe_n obs "cp.node_depth" d k) (Cp.dist_depth cp)
 
 let try_ii (p : Problem.t) rng ~ii ~max_failures ~routing_retries ~should_stop ~obs =
   let dfg = p.dfg and cgra = p.cgra in

@@ -34,7 +34,9 @@ let flush_stats obs (s : Ocgra_ilp.Ilp.stats) =
   Ocgra_obs.Ctx.add obs "ilp.nodes" s.nodes;
   Ocgra_obs.Ctx.add obs "ilp.lp_solves" s.lp_solves;
   Ocgra_obs.Ctx.add obs "ilp.pruned" s.pruned;
-  Ocgra_obs.Ctx.add obs "ilp.improved" s.improved
+  Ocgra_obs.Ctx.add obs "ilp.improved" s.improved;
+  Ocgra_obs.Ctx.set_max obs "ilp.max_depth" s.max_depth;
+  Array.iteri (fun d k -> Ocgra_obs.Ctx.observe_n obs "ilp.node_depth" d k) s.depth_counts
 
 let capable (p : Problem.t) v =
   let npe = Ocgra_arch.Cgra.pe_count p.cgra in

@@ -271,15 +271,74 @@ let extract (p : Problem.t) inst ~ii =
 
 (* Flush the solver tally *deltas* of one candidate II into the
    metrics sink; with a shared incremental solver the native counters
-   are cumulative across the sweep, so per-II attribution subtracts
-   the previous flush.  The CDCL hot loop itself stays
-   instrumentation-free. *)
-let flush_stats obs sat (pc, pd, pp) =
+   and distribution arrays are cumulative across the sweep, so per-II
+   attribution subtracts the previous flush.  The CDCL hot loop
+   itself stays instrumentation-free: it tallies into plain int
+   arrays, and this wrapper is where those become Obs histograms
+   (LBD exact, trail depth and propagations-per-decision re-expanded
+   from their log2 buckets) plus a per-II convergence event. *)
+type marks = {
+  mk_conflicts : int;
+  mk_decisions : int;
+  mk_propagations : int;
+  mk_restarts : int;
+  mk_reduces : int;
+  mk_lbd : int array;
+  mk_trail : int array;
+  mk_ppd : int array;
+}
+
+let zero_marks =
+  {
+    mk_conflicts = 0;
+    mk_decisions = 0;
+    mk_propagations = 0;
+    mk_restarts = 0;
+    mk_reduces = 0;
+    mk_lbd = Array.make 64 0;
+    mk_trail = Array.make 64 0;
+    mk_ppd = Array.make 64 0;
+  }
+
+let verdict_to_string = function
+  | Sat.Sat -> "sat"
+  | Sat.Unsat -> "unsat"
+  | Sat.Unknown -> "unknown"
+
+let flush_stats obs sat ~ii ~verdict marks =
   let conflicts, decisions, propagations = Sat.stats sat in
-  Ocgra_obs.Ctx.add obs "sat.conflicts" (conflicts - pc);
-  Ocgra_obs.Ctx.add obs "sat.decisions" (decisions - pd);
-  Ocgra_obs.Ctx.add obs "sat.propagations" (propagations - pp);
-  (conflicts, decisions, propagations)
+  let restarts = Sat.n_restarts sat and reduces = Sat.n_reduces sat in
+  Ocgra_obs.Ctx.add obs "sat.conflicts" (conflicts - marks.mk_conflicts);
+  Ocgra_obs.Ctx.add obs "sat.decisions" (decisions - marks.mk_decisions);
+  Ocgra_obs.Ctx.add obs "sat.propagations" (propagations - marks.mk_propagations);
+  Ocgra_obs.Ctx.add obs "sat.restarts" (restarts - marks.mk_restarts);
+  Ocgra_obs.Ctx.add obs "sat.reduces" (reduces - marks.mk_reduces);
+  let lbd = Sat.dist_lbd sat and trail = Sat.dist_trail sat and ppd = Sat.dist_ppd sat in
+  for i = 0 to 63 do
+    Ocgra_obs.Ctx.observe_n obs "sat.lbd" i (lbd.(i) - marks.mk_lbd.(i));
+    Ocgra_obs.Ctx.observe_n obs "sat.trail_depth" (1 lsl i) (trail.(i) - marks.mk_trail.(i));
+    Ocgra_obs.Ctx.observe_n obs "sat.props_per_decision" (1 lsl i) (ppd.(i) - marks.mk_ppd.(i))
+  done;
+  Ocgra_obs.Ctx.event obs ~cat:"sat" "sat.ii"
+    [
+      ("ii", Ocgra_obs.Events.Int ii);
+      ("verdict", Ocgra_obs.Events.Str (verdict_to_string verdict));
+      ("conflicts", Ocgra_obs.Events.Int (conflicts - marks.mk_conflicts));
+      ("decisions", Ocgra_obs.Events.Int (decisions - marks.mk_decisions));
+      ("restarts", Ocgra_obs.Events.Int (restarts - marks.mk_restarts));
+      ("reduces", Ocgra_obs.Events.Int (reduces - marks.mk_reduces));
+      ("learnts", Ocgra_obs.Events.Int (Sat.n_learnts sat));
+    ];
+  {
+    mk_conflicts = conflicts;
+    mk_decisions = decisions;
+    mk_propagations = propagations;
+    mk_restarts = restarts;
+    mk_reduces = reduces;
+    mk_lbd = lbd;
+    mk_trail = trail;
+    mk_ppd = ppd;
+  }
 
 let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadline.none)
     ?(obs = Ocgra_obs.Ctx.off) ?(incremental = true) (p : Problem.t) rng =
@@ -305,10 +364,15 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadlin
             in
             let g = add_ii inst p ~ii ~slack in
             let verdict = Sat.solve ~max_conflicts ~should_stop ~assumptions:[ g ] inst.sat in
-            let stats' = flush_stats obs inst.sat last_stats in
+            let stats' = flush_stats obs inst.sat ~ii ~verdict last_stats in
             (* retire a refuted or abandoned candidate: the unit
                not-g lets root simplification reclaim its group *)
-            if verdict <> Sat.Sat then Sat.add_clause inst.sat [ Sat.negate g ];
+            if verdict <> Sat.Sat then begin
+              Sat.add_clause inst.sat [ Sat.negate g ];
+              if incremental then
+                Ocgra_obs.Ctx.event obs ~cat:"sat" "sat.retire"
+                  [ ("ii", Ocgra_obs.Events.Int ii) ]
+            end;
             (inst, verdict, stats')
           in
           match
@@ -326,12 +390,12 @@ let map ?(slack = 3) ?(max_conflicts = 300_000) ?deadline_s ?(deadline = Deadlin
                 (None, !attempts, false, "unsat up to max II")
               else
                 (* a cold per-II instance reset the stat baseline *)
-                over_ii (ii + 1) budget_hit (if incremental then stats' else (0, 0, 0))
+                over_ii (ii + 1) budget_hit (if incremental then stats' else zero_marks)
           | _, Sat.Unknown, stats' ->
-              over_ii (ii + 1) true (if incremental then stats' else (0, 0, 0))
+              over_ii (ii + 1) true (if incremental then stats' else zero_marks)
         end
       in
-      over_ii (max 1 mii) false (0, 0, 0)
+      over_ii (max 1 mii) false zero_marks
 
 let make_mapper ~name ~incremental =
   Mapper.make ~name ~citation:"Miyasaka et al. [17]"

@@ -15,10 +15,13 @@ module Sat = Ocgra_sat.Solver
 module Enc = Ocgra_sat.Encodings
 
 let flush_stats obs smt =
-  let conflicts, decisions, propagations = Sat.stats (Smt.sat_solver smt) in
+  let sat = Smt.sat_solver smt in
+  let conflicts, decisions, propagations = Sat.stats sat in
   Ocgra_obs.Ctx.add obs "sat.conflicts" conflicts;
   Ocgra_obs.Ctx.add obs "sat.decisions" decisions;
   Ocgra_obs.Ctx.add obs "sat.propagations" propagations;
+  Ocgra_obs.Ctx.add obs "sat.restarts" (Sat.n_restarts sat);
+  Array.iteri (fun lbd k -> Ocgra_obs.Ctx.observe_n obs "sat.lbd" lbd k) (Sat.dist_lbd sat);
   Ocgra_obs.Ctx.add obs "smt.rounds" (Smt.rounds smt)
 
 let try_ii (p : Problem.t) ~ii ~routing_retries ~should_stop ~obs =

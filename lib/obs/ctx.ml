@@ -1,31 +1,62 @@
-(* The handle the rest of the system threads around: one trace sink
-   plus one metrics sink, either of which may be the no-op.  [off] is
-   the default everywhere an [?obs] parameter is omitted, and both its
-   sinks are disabled, so code instrumented with [span]/[add] pays one
-   branch when nobody is watching. *)
+(* The handle the rest of the system threads around: one trace sink,
+   one metrics sink, one histogram sink, one event log — any of which
+   may be the no-op.  [off] is the default everywhere an [?obs]
+   parameter is omitted, and all its sinks are disabled, so code
+   instrumented with [span]/[add]/[observe]/[event] pays one branch
+   when nobody is watching. *)
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; hists : Hist.t; events : Events.t }
 
-let off = { trace = Trace.off; metrics = Metrics.off }
-let v ~trace ~metrics = { trace; metrics }
-let create () = { trace = Trace.create (); metrics = Metrics.create () }
+let off = { trace = Trace.off; metrics = Metrics.off; hists = Hist.off; events = Events.off }
 
-let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+(* Histograms ride the metrics sink's enablement: they are the
+   distribution half of the same [--metrics] story, so callers that
+   mix sinks by hand get them for free whenever metrics are live. *)
+let v ?(events = Events.off) ~trace ~metrics () =
+  {
+    trace;
+    metrics;
+    hists = (if Metrics.enabled metrics then Hist.create () else Hist.off);
+    events;
+  }
+
+let create () =
+  {
+    trace = Trace.create ();
+    metrics = Metrics.create ();
+    hists = Hist.create ();
+    events = Events.create ();
+  }
+
+let enabled t =
+  Trace.enabled t.trace || Metrics.enabled t.metrics || Events.enabled t.events
+
 let trace t = t.trace
 let metrics t = t.metrics
+let hists t = t.hists
+let events t = t.events
 
 let span t ?cat ?args name f = Trace.span t.trace ?cat ?args name f
 let add t name n = Metrics.add t.metrics name n
 let incr t name = Metrics.incr t.metrics name
 let set_max t name v = Metrics.set_max t.metrics name v
+let observe t name v = Hist.observe t.hists name v
+let observe_n t name v n = Hist.observe_n t.hists name v n
+let event t ?cat name args = Events.emit t.events ?cat name args
 
 (* A fork shares the trace (spans interleave on domain lanes anyway)
-   but gets a private metrics sink, so a caller can attribute counter
-   deltas — e.g. per racing tier — and then fold them back. *)
+   but gets private metrics, histogram, and event sinks, so a caller
+   can attribute deltas — e.g. per racing tier — and then fold them
+   back in a deterministic order. *)
 let fork t =
   {
     trace = t.trace;
     metrics = (if Metrics.enabled t.metrics then Metrics.create () else Metrics.off);
+    hists = (if Hist.enabled t.hists then Hist.create () else Hist.off);
+    events = (if Events.enabled t.events then Events.create () else Events.off);
   }
 
-let absorb ~into src = Metrics.merge ~into:into.metrics src.metrics
+let absorb ~into src =
+  Metrics.merge ~into:into.metrics src.metrics;
+  Hist.merge ~into:into.hists src.hists;
+  Events.absorb ~into:into.events src.events

@@ -1,32 +1,50 @@
 (** The observability handle threaded through the mapping stack
-    alongside [Deadline.t]: one {!Trace.t} plus one {!Metrics.t}.
-    Every [?obs] parameter in the system defaults to {!off}, whose
-    sinks are both disabled — instrumented code then pays one branch
-    per site and nothing else. *)
+    alongside [Deadline.t]: one {!Trace.t}, one {!Metrics.t}, one
+    {!Hist.t}, and one {!Events.t}.  Every [?obs] parameter in the
+    system defaults to {!off}, whose sinks are all disabled —
+    instrumented code then pays one branch per site and nothing
+    else. *)
 
 type t
 
 val off : t
-(** Both sinks disabled; the universal default. *)
+(** All sinks disabled; the universal default. *)
 
 val create : unit -> t
-(** Both sinks live. *)
+(** All sinks live. *)
 
-val v : trace:Trace.t -> metrics:Metrics.t -> t
-(** Mix live and dead sinks — e.g. [--metrics] without [--trace]. *)
+val v : ?events:Events.t -> trace:Trace.t -> metrics:Metrics.t -> unit -> t
+(** Mix live and dead sinks — e.g. [--metrics] without [--trace].
+    The histogram sink follows the metrics sink's enablement; the
+    event log defaults to dead. *)
 
 val enabled : t -> bool
 val trace : t -> Trace.t
 val metrics : t -> Metrics.t
+val hists : t -> Hist.t
+val events : t -> Events.t
 
 val span : t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 val add : t -> string -> int -> unit
 val incr : t -> string -> unit
 val set_max : t -> string -> int -> unit
 
+val observe : t -> string -> int -> unit
+(** Record a value into a named histogram (see {!Hist}). *)
+
+val observe_n : t -> string -> int -> int -> unit
+
+val event : t -> ?cat:string -> string -> (string * Events.value) list -> unit
+(** Append a structured event (see {!Events} for the determinism
+    contract — no wall-clock payloads). *)
+
 val fork : t -> t
-(** Same trace, private metrics sink (dead if the parent's is dead) —
-    for attributing counter deltas to one racing tier. *)
+(** Same trace; private metrics, histogram, and event sinks (dead if
+    the parent's are dead) — for attributing deltas to one racing
+    tier. *)
 
 val absorb : into:t -> t -> unit
-(** Fold a fork's metrics back into a parent. *)
+(** Fold a fork's metrics and histograms back into a parent and
+    append its events (re-sequenced, preserving relative order).
+    Absorbing forks in a fixed order keeps the combined log
+    deterministic. *)

@@ -1,0 +1,74 @@
+(* Bounded, mutex-free structured event log.
+
+   An event is a typed record — category, name, and integer/string
+   arguments — stamped with a sequence number from one atomic
+   counter.  Publication is a compare-and-set push onto a list head
+   (same discipline as [Trace]); [events] sorts by sequence number,
+   so a single-domain emitter reads back exactly its program order.
+
+   Determinism contract: sequence numbers are allocation order, so
+   events emitted concurrently from several domains interleave
+   nondeterministically.  Code that wants byte-identical event logs
+   across worker counts must either (a) emit from one domain, (b)
+   emit post-hoc from a deterministically-ordered result array after
+   the parallel section (how campaign trial outcomes are logged), or
+   (c) emit into forked sinks absorbed in a fixed order
+   ([Ctx.absorb] re-sequences, which is why race tiers fold back
+   deterministically).  Events carry no wall-clock payloads for the
+   same reason; durations belong in the trace or in histograms.
+
+   The log is bounded: past [cap] events the record is dropped and a
+   drop counter bumped, so a runaway emitter degrades to a counter
+   instead of unbounded memory. *)
+
+type value = Int of int | Str of string
+
+type event = {
+  seq : int;
+  cat : string;
+  name : string;
+  args : (string * value) list;
+}
+
+type t = {
+  enabled : bool;
+  cap : int;
+  next : int Atomic.t;
+  items : event list Atomic.t;
+  dropped : int Atomic.t;
+}
+
+let off =
+  { enabled = false; cap = 0; next = Atomic.make 0; items = Atomic.make []; dropped = Atomic.make 0 }
+
+let default_cap = 65536
+
+let create ?(cap = default_cap) () =
+  { enabled = true; cap; next = Atomic.make 0; items = Atomic.make []; dropped = Atomic.make 0 }
+
+let enabled t = t.enabled
+
+let emit t ?(cat = "ocgra") name args =
+  if t.enabled then begin
+    let seq = Atomic.fetch_and_add t.next 1 in
+    if seq >= t.cap then ignore (Atomic.fetch_and_add t.dropped 1)
+    else begin
+      let e = { seq; cat; name; args } in
+      let rec push () =
+        let items = Atomic.get t.items in
+        if not (Atomic.compare_and_set t.items items (e :: items)) then push ()
+      in
+      push ()
+    end
+  end
+
+let count t = min (Atomic.get t.next) t.cap
+let dropped t = Atomic.get t.dropped
+
+let events t = List.sort (fun a b -> compare a.seq b.seq) (Atomic.get t.items)
+
+(* Re-sequence a fork's events onto the destination, preserving their
+   relative order.  Absorbing forks in a fixed order therefore yields
+   a deterministic combined log. *)
+let absorb ~into src =
+  if into.enabled then List.iter (fun e -> emit into ~cat:e.cat e.name e.args) (events src)

@@ -57,7 +57,13 @@ let chrome_trace (t : Trace.t) =
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
-let metrics_json (m : Metrics.t) =
+(* Counters and histogram summaries share one name-sorted integer key
+   space: histogram [h] contributes [h.count/.max/.p50/...], so the
+   dump stays a flat deterministic object whatever mix is live. *)
+let metrics_kvs ?(hists = Hist.off) m =
+  List.sort (fun (a, _) (b, _) -> compare a b) (Metrics.dump m @ Hist.summary_kvs hists)
+
+let metrics_json ?hists (m : Metrics.t) =
   let b = Buffer.create 1024 in
   Buffer.add_char b '{';
   List.iteri
@@ -66,13 +72,42 @@ let metrics_json (m : Metrics.t) =
       Buffer.add_string b "\n";
       buf_add_json_string b name;
       Buffer.add_string b (Printf.sprintf ": %d" v))
-    (Metrics.dump m);
+    (metrics_kvs ?hists m);
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
-let metrics_kv (m : Metrics.t) =
+let metrics_kv ?hists (m : Metrics.t) =
   let b = Buffer.create 1024 in
-  List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s=%d\n" name v)) (Metrics.dump m);
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%s=%d\n" name v))
+    (metrics_kvs ?hists m);
+  Buffer.contents b
+
+(* One JSON object per line (JSONL), in sequence order; a trailing
+   synthetic event reports drops past the bound, so truncation is
+   visible in the log itself. *)
+let events_jsonl (e : Events.t) =
+  let b = Buffer.create 1024 in
+  let add_event seq cat name args =
+    Buffer.add_string b (Printf.sprintf "{\"seq\":%d,\"cat\":" seq);
+    buf_add_json_string b cat;
+    Buffer.add_string b ",\"ev\":";
+    buf_add_json_string b name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char b ',';
+        buf_add_json_string b k;
+        Buffer.add_char b ':';
+        match (v : Events.value) with
+        | Events.Int n -> Buffer.add_string b (string_of_int n)
+        | Events.Str s -> buf_add_json_string b s)
+      args;
+    Buffer.add_string b "}\n"
+  in
+  List.iter (fun (ev : Events.event) -> add_event ev.seq ev.cat ev.name ev.args) (Events.events e);
+  let dropped = Events.dropped e in
+  if dropped > 0 then
+    add_event (Events.count e) "obs" "events.dropped" [ ("dropped", Events.Int dropped) ];
   Buffer.contents b
 
 let write_file path contents =
@@ -82,6 +117,8 @@ let write_file path contents =
 let write_chrome_trace t path = write_file path (chrome_trace t)
 
 (* [.json] gets the JSON object; anything else the key=value lines. *)
-let write_metrics m path =
+let write_metrics ?hists m path =
   write_file path
-    (if Filename.check_suffix path ".json" then metrics_json m else metrics_kv m)
+    (if Filename.check_suffix path ".json" then metrics_json ?hists m else metrics_kv ?hists m)
+
+let write_events e path = write_file path (events_jsonl e)

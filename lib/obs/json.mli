@@ -1,0 +1,19 @@
+(** Minimal recursive-descent JSON (RFC 8259) reader — the matching
+    half of the tree's hand-rolled JSON writers, used off the hot
+    path to load [BENCH_*.json] snapshots for the regression gate.
+    Object member order is preserved; numbers are floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; the error names the byte offset. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_string : t -> string option

@@ -29,5 +29,8 @@ val dump : t -> (string * int) list
 (** Snapshot, sorted by name — the deterministic export order. *)
 
 val merge : into:t -> t -> unit
-(** [merge ~into src] adds every counter of [src] into [into] —
-    how a per-tier fork's tallies are folded back after a race. *)
+(** [merge ~into src] folds every cell of [src] into [into] — how a
+    per-tier fork's tallies are folded back after a race.  Cells are
+    tagged by the operation that created them: counters sum, [set_max]
+    gauges fold by maximum, and [set] gauges take the source's value
+    (never summed — a gauge folded with [+] double-counts). *)

@@ -125,7 +125,12 @@ let run ?workers ?(obs = Ocgra_obs.Ctx.off) ?(policy = default_policy) ?cancel
             if cancelled () then Cancelled
             else if try_no + 1 < max_tries then begin
               Ocgra_obs.Ctx.incr obs "supervise.retries";
-              if Clock.sleep_unless ~until:cancelled (backoff_duration policy jrng try_no)
+              let d = backoff_duration policy jrng try_no in
+              (* the duration is a pure function of (seed, task, try),
+                 so the histogram stays deterministic across worker
+                 counts even though it is recorded mid-flight *)
+              Ocgra_obs.Ctx.observe obs "supervise.backoff_us" (int_of_float (d *. 1e6));
+              if Clock.sleep_unless ~until:cancelled d
               then go (try_no + 1)
               else Cancelled (* cancellation interrupted the backoff sleep *)
             end
@@ -148,6 +153,19 @@ let run ?workers ?(obs = Ocgra_obs.Ctx.off) ?(policy = default_policy) ?cancel
              match o with Failed _ | Timed_out -> i :: acc | Ok _ | Cancelled -> acc)
            [])
   in
+  (* anomalies only, emitted post-hoc in task-index order from the
+     outcome array — never from inside the racing domains — so the
+     event log is independent of worker count and interleaving *)
+  Array.iteri
+    (fun i o ->
+      if tries.(i) > 1 || (match o with Ok _ -> false | _ -> true) then
+        Ocgra_obs.Ctx.event obs ~cat:"supervise" "supervise.task"
+          [
+            ("task", Ocgra_obs.Events.Int i);
+            ("tries", Ocgra_obs.Events.Int tries.(i));
+            ("outcome", Ocgra_obs.Events.Str (outcome_to_string o));
+          ])
+    outcomes;
   let tally f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 outcomes in
   Ocgra_obs.Ctx.add obs "supervise.ok" (tally (function Ok _ -> true | _ -> false));
   Ocgra_obs.Ctx.add obs "supervise.failed" (tally (function Failed _ -> true | _ -> false));

@@ -91,6 +91,15 @@ type t = {
   mutable max_learnts : int;
   mutable reduces : int;
   mutable simp_assigns : int; (* root trail size at the last simplify *)
+  (* convergence introspection, tallied per conflict; the solver keeps
+     plain int arrays (no observability dependency down here) and the
+     mapper wrappers flush deltas into Obs histograms *)
+  mutable restarts : int;
+  lbd_counts : int array; (* index = learnt-clause LBD, tail bucket at 63 *)
+  trail_counts : int array; (* index = floor(log2 trail_size) at conflict *)
+  ppd_counts : int array; (* index = floor(log2 propagations-per-decision) *)
+  mutable ppd_props : int; (* propagation/decision marks of the last conflict *)
+  mutable ppd_decs : int;
 }
 
 let create ?(reduce_base = 4000) () =
@@ -124,6 +133,12 @@ let create ?(reduce_base = 4000) () =
     max_learnts = max 16 reduce_base;
     reduces = 0;
     simp_assigns = -1;
+    restarts = 0;
+    lbd_counts = Array.make 64 0;
+    trail_counts = Array.make 64 0;
+    ppd_counts = Array.make 64 0;
+    ppd_props = 0;
+    ppd_decs = 0;
   }
 
 let n_vars t = t.nvars
@@ -703,6 +718,31 @@ let luby x =
   let size, seq = find_size 1 0 in
   down x size seq
 
+(* ---------- convergence tallies ---------- *)
+
+let ilog2 v =
+  let k = ref 0 and v = ref v in
+  while !v > 1 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+(* Per-conflict distribution bookkeeping: learnt-clause LBD (exact,
+   tail at 63), trail depth and propagations-per-decision since the
+   previous conflict (both log2-bucketed).  A handful of array bumps
+   per conflict — noise next to the analysis that precedes them. *)
+let tally_conflict t lbd =
+  let li = if lbd < 63 then lbd else 63 in
+  t.lbd_counts.(li) <- t.lbd_counts.(li) + 1;
+  let ti = min 63 (ilog2 (max 1 t.trail_size)) in
+  t.trail_counts.(ti) <- t.trail_counts.(ti) + 1;
+  let dp = t.propagations - t.ppd_props and dd = t.decisions - t.ppd_decs in
+  let pi = min 63 (ilog2 (max 1 (dp / max 1 dd))) in
+  t.ppd_counts.(pi) <- t.ppd_counts.(pi) + 1;
+  t.ppd_props <- t.propagations;
+  t.ppd_decs <- t.decisions
+
 (* ---------- main search ---------- *)
 
 let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumptions = []) t =
@@ -756,6 +796,7 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumpti
               end
               else begin
                 let learnt, back_level, lbd = analyze t confl in
+                tally_conflict t lbd;
                 cancel_until t back_level;
                 add_learnt t learnt lbd;
                 decay_activities t
@@ -808,6 +849,7 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumpti
             end
           done;
           if !restart_now then begin
+            t.restarts <- t.restarts + 1;
             cancel_until t 0;
             if propagate t >= 0 then begin
               t.ok <- false;
@@ -832,3 +874,7 @@ let solve ?(max_conflicts = max_int) ?(should_stop = fun () -> false) ?(assumpti
 let stats t = (t.conflicts, t.decisions, t.propagations)
 let n_learnts t = t.n_learnts
 let n_reduces t = t.reduces
+let n_restarts t = t.restarts
+let dist_lbd t = Array.copy t.lbd_counts
+let dist_trail t = Array.copy t.trail_counts
+let dist_ppd t = Array.copy t.ppd_counts

@@ -78,6 +78,21 @@ val n_learnts : t -> int
 (** [reduce_db] passes run so far. *)
 val n_reduces : t -> int
 
+(** Luby restarts taken so far. *)
+val n_restarts : t -> int
+
+(** Convergence distributions, tallied once per conflict as plain
+    64-cell count arrays (the solver carries no observability
+    dependency; mapper wrappers flush deltas into histograms).
+    [dist_lbd] is indexed by the learnt clause's exact LBD (tail
+    bucket at 63); [dist_trail] and [dist_ppd] by [floor(log2 v)] of
+    the trail depth at conflict and of propagations-per-decision
+    since the previous conflict. *)
+val dist_lbd : t -> int array
+
+val dist_trail : t -> int array
+val dist_ppd : t -> int array
+
 (** Internal-consistency audit for tests: reason indices must point at
     live clauses asserting their variable, and every stored clause
     must be watched by its first two literals.  Returns human-readable

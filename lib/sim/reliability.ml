@@ -202,7 +202,12 @@ let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) ?(retries = 2)
   let trial t _stop =
     let tseed = seeds.(t) in
     let transients = Ocgra_arch.Cgra.inject_transients p.cgra ~seed:tseed ~horizon:hz ~rate in
+    let t0 = Deadline.now () in
     let cls, ts = classify p m ~io:(mk_io ()) ~iters ~expected ~transients in
+    (* wall-clock latency goes to the histogram only, never into the
+       event log — the log must stay byte-identical across runs *)
+    Ocgra_obs.Ctx.observe obs "campaign.trial_us"
+      (int_of_float ((Deadline.now () -. t0) *. 1e6));
     let applied = match ts with Some ts -> ts.Machine.applied | None -> 0 in
     let record = (cls, List.length transients, applied) in
     Option.iter
@@ -264,6 +269,40 @@ let run_campaign ?workers ?(obs = Ocgra_obs.Ctx.off) ?(retries = 2)
       }
       completed
   in
+  (* trial outcomes enter the event log post-hoc, in trial-index order,
+     from the same [completed] array the report folds — the log is a
+     pure function of the campaign inputs, whatever the worker count.
+     Only anomalies get a per-trial record; the closing summary always
+     lands. *)
+  Array.iteri
+    (fun t slot ->
+      match slot with
+      | Some (Correct, _, _) -> ()
+      | Some (cls, injected, applied) ->
+          Ocgra_obs.Ctx.event obs ~cat:"campaign" "campaign.trial"
+            [
+              ("trial", Ocgra_obs.Events.Int t);
+              ("class", Ocgra_obs.Events.Str (trial_class_to_string cls));
+              ("injected", Ocgra_obs.Events.Int injected);
+              ("applied", Ocgra_obs.Events.Int applied);
+            ]
+      | None ->
+          Ocgra_obs.Ctx.event obs ~cat:"campaign" "campaign.trial"
+            [
+              ("trial", Ocgra_obs.Events.Int t);
+              ("class", Ocgra_obs.Events.Str "quarantined");
+            ])
+    completed;
+  Ocgra_obs.Ctx.event obs ~cat:"campaign" "campaign.done"
+    [
+      ("trials", Ocgra_obs.Events.Int report.trials);
+      ("correct", Ocgra_obs.Events.Int report.correct);
+      ("masked", Ocgra_obs.Events.Int report.masked);
+      ("detected", Ocgra_obs.Events.Int report.detected);
+      ("sdc", Ocgra_obs.Events.Int report.sdc);
+      ("crash", Ocgra_obs.Events.Int report.crash);
+      ("quarantined", Ocgra_obs.Events.Int report.quarantined);
+    ];
   Ocgra_obs.Ctx.add obs "campaign.resumed" resumed;
   Ocgra_obs.Ctx.add obs "campaign.quarantined" report.quarantined;
   if checkpoint <> None then Ocgra_obs.Ctx.add obs "checkpoint.journaled" journaled;
@@ -353,6 +392,22 @@ let run_survivor ?workers ?(obs = Ocgra_obs.Ctx.off) ?(scratch = true) ?step_dea
     | result ->
         List.for_all (fun (name, want) -> Machine.output_stream result name = want) expected
   in
+  (* the walk is sequential, so emitting as each step closes is already
+     deterministic; timings stay out of the payload *)
+  let step_event s =
+    Ocgra_obs.Ctx.event obs ~cat:"reliability" "survivor.step"
+      [
+        ("step", Ocgra_obs.Events.Int s.step);
+        ( "rung",
+          Ocgra_obs.Events.Str
+            (match s.rung with Some r -> Mapper.rung_to_string r | None -> "none") );
+        ( "ii",
+          match s.ii with
+          | Some ii -> Ocgra_obs.Events.Int ii
+          | None -> Ocgra_obs.Events.Str "none" );
+        ("replayed", Ocgra_obs.Events.Int (if s.replayed then 1 else 0));
+      ]
+  in
   let rec walk k m_prev acc =
     if k > steps then (List.rev acc, None)
     else begin
@@ -392,6 +447,7 @@ let run_survivor ?workers ?(obs = Ocgra_obs.Ctx.off) ?(scratch = true) ?step_dea
               note = o.Repair.note;
             }
           in
+          step_event s;
           walk (k + 1) m (s :: acc)
       | res ->
           (* no certified mapping — or one the simulator contradicts,
@@ -408,6 +464,7 @@ let run_survivor ?workers ?(obs = Ocgra_obs.Ctx.off) ?(scratch = true) ?step_dea
               note = o.Repair.note;
             }
           in
+          step_event s;
           (List.rev (s :: acc), Some k)
     end
   in

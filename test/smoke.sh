@@ -63,6 +63,25 @@ grep -q '"mapper.runs"' "$TMPD/metrics.json"
   --metrics "$TMPD/m2.metrics" > /dev/null
 cmp "$TMPD/m1.metrics" "$TMPD/m2.metrics"
 
+# event-log determinism: the structured event log of a fixed-seed
+# campaign (tier verdicts, trial outcomes, closing summary) must be
+# byte-identical whatever the worker count — events are emitted
+# post-hoc from trial-indexed arrays, never from inside the domains
+"$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 --fault-rate 0.002 \
+  --fault-seed 11 --jobs 1 --events "$TMPD/e1.jsonl" > /dev/null
+"$OCGRA" sim -k saxpy -m modulo-greedy --campaign 20 --fault-rate 0.002 \
+  --fault-seed 11 --jobs 2 --events "$TMPD/e2.jsonl" > /dev/null
+cmp "$TMPD/e1.jsonl" "$TMPD/e2.jsonl"
+grep -q '"ev":"campaign.done"' "$TMPD/e1.jsonl"
+grep -q '"ev":"campaign.trial"' "$TMPD/e1.jsonl"
+
+# the SAT sweep must leave per-II convergence events and its LBD
+# distribution behind when asked
+"$OCGRA" map -k absdiff -m sat --rows 2 --cols 2 --seed 9 --jobs 1 \
+  --metrics "$TMPD/sat.metrics" --events "$TMPD/sat.jsonl" | grep -q "mapped:"
+grep -q '"ev":"sat.ii"' "$TMPD/sat.jsonl"
+grep -q 'sat.lbd.count=' "$TMPD/sat.metrics"
+
 # supervised chaos: injected task failures at 10% with retries must be
 # fully masked — the campaign line is byte-identical to the clean run,
 # and the supervision counters show the retries actually happened

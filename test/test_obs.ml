@@ -204,7 +204,7 @@ let test_counter_basics () =
 let map_with_metrics seed =
   let k = Kernels.dot_product () in
   let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
-  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) in
+  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) () in
   let o = Mapper.run (Ocgra_mappers.Registry.find "sat") ~seed ~obs p in
   checkb "mapped" true (o.Mapper.mapping <> None);
   Obs.Metrics.dump (Ctx.metrics obs)
@@ -305,7 +305,7 @@ let test_harness_run_trail () =
 let test_race_trail_verdicts () =
   let k = Kernels.dot_product () in
   let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
-  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) in
+  let obs = Ctx.v ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ()) () in
   let chain = [ failing_tier; Ocgra_mappers.Registry.find "modulo-greedy" ] in
   let o = Mapper.Harness.race ~seed:7 ~deadline_s:30.0 ~workers:2 ~obs chain p in
   checkb "race mapped" true (o.Mapper.mapping <> None);
@@ -323,6 +323,247 @@ let test_race_trail_verdicts () =
   (* the forked per-tier sinks were absorbed back into [obs] *)
   checkb "absorbed counters visible" true
     (Obs.Metrics.get (Ctx.metrics obs) "mapper.runs" >= 2)
+
+(* ---------- histograms ---------- *)
+
+let test_hist_buckets () =
+  (* small values are exact *)
+  for v = 1 to 7 do
+    checki
+      (Printf.sprintf "bucket_lo exact at %d" v)
+      v
+      (Obs.Hist.bucket_lo (Obs.Hist.bucket_of_value v))
+  done;
+  checki "non-positive values share bucket 0" 0 (Obs.Hist.bucket_of_value 0);
+  checki "negative too" 0 (Obs.Hist.bucket_of_value (-5));
+  (* monotone in the value, lower bound never above the value *)
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let b = Obs.Hist.bucket_of_value v in
+      checkb (Printf.sprintf "bucket monotone at %d" v) true (b >= !prev);
+      checkb (Printf.sprintf "lower bound <= value at %d" v) true (Obs.Hist.bucket_lo b <= v);
+      prev := b)
+    [ 1; 2; 7; 8; 9; 15; 16; 100; 1_000; 65_536; 1_000_000; max_int / 2; max_int ];
+  checkb "bucket index in range" true (Obs.Hist.bucket_of_value max_int < Obs.Hist.n_buckets)
+
+let test_hist_summary () =
+  let h = Obs.Hist.create () in
+  for v = 1 to 100 do
+    Obs.Hist.observe h "lat" v
+  done;
+  (match Obs.Hist.dump h with
+  | [ (name, s) ] ->
+      checks "one histogram" "lat" name;
+      checki "count" 100 s.Obs.Hist.count;
+      checki "sum" 5050 s.Obs.Hist.sum;
+      checki "max is exact" 100 s.Obs.Hist.max;
+      checkb "p50 is the median's bucket lower bound" true
+        (s.Obs.Hist.p50 >= 40 && s.Obs.Hist.p50 <= 50);
+      checkb "p99 lands in the tail" true (s.Obs.Hist.p99 >= 75 && s.Obs.Hist.p99 <= 100);
+      checkb "quantiles ordered" true
+        (s.Obs.Hist.p50 <= s.Obs.Hist.p90
+        && s.Obs.Hist.p90 <= s.Obs.Hist.p99
+        && s.Obs.Hist.p99 <= s.Obs.Hist.max)
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l));
+  checkb "off sink records nothing" true
+    (Obs.Hist.observe Obs.Hist.off "x" 1;
+     Obs.Hist.dump Obs.Hist.off = [])
+
+let qcheck_hist_merge_order_invariant =
+  (* recording a stream into one sink must equal recording any
+     partition of it into two sinks — the second half reversed — and
+     merging: the dump is a function of the multiset only *)
+  QCheck.Test.make ~name:"hist merge is order- and partition-invariant" ~count:100
+    QCheck.(pair (list (pair (int_range 0 2) (int_range (-4) 100_000))) small_int)
+    (fun (stream, cut) ->
+      let names = [| "a"; "b"; "c" |] in
+      let record h l = List.iter (fun (i, v) -> Obs.Hist.observe h names.(i) v) l in
+      let all = Obs.Hist.create () in
+      record all stream;
+      let k = match stream with [] -> 0 | _ -> cut mod (List.length stream + 1) in
+      let h1 = Obs.Hist.create () and h2 = Obs.Hist.create () in
+      record h1 (List.filteri (fun i _ -> i < k) stream);
+      record h2 (List.rev (List.filteri (fun i _ -> i >= k) stream));
+      Obs.Hist.merge ~into:h1 h2;
+      Obs.Hist.dump h1 = Obs.Hist.dump all)
+
+let test_hist_parallel_deterministic () =
+  (* one shared sink pounded from 4 domains: the export must be
+     byte-identical to the sequential run, since bucket bumps commute *)
+  let run workers =
+    let h = Obs.Hist.create () in
+    let tasks =
+      Array.init 64 (fun i () ->
+          Obs.Hist.observe h "work" (i * 37 mod 101);
+          Obs.Hist.observe h "pow2" (1 lsl (i mod 30)))
+    in
+    ignore (Ocgra_par.Pool.run ~workers tasks);
+    Obs.Export.metrics_kv ~hists:h (Obs.Metrics.create ())
+  in
+  checks "1 vs 4 workers byte-identical" (run 1) (run 4)
+
+let test_gauge_merge_not_summed () =
+  (* regression: merge used to fold every cell with [+], double-counting
+     gauges when a fork was absorbed *)
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.set a "gauge.last" 5;
+  Obs.Metrics.set b "gauge.last" 7;
+  Obs.Metrics.set_max a "gauge.max" 9;
+  Obs.Metrics.set_max b "gauge.max" 4;
+  Obs.Metrics.add a "counter" 2;
+  Obs.Metrics.add b "counter" 3;
+  Obs.Metrics.merge ~into:a b;
+  checki "counters sum" 5 (Obs.Metrics.get a "counter");
+  checki "set_max folds by max, never sum" 9 (Obs.Metrics.get a "gauge.max");
+  checki "set takes the source value, never sum" 7 (Obs.Metrics.get a "gauge.last")
+
+(* ---------- the event log ---------- *)
+
+let test_events_jsonl_valid () =
+  let e = Obs.Events.create () in
+  Obs.Events.emit e ~cat:"sat" "sat.ii"
+    [ ("ii", Obs.Events.Int 4); ("verdict", Obs.Events.Str "unsat") ];
+  Obs.Events.emit e "weird" [ ("s", Obs.Events.Str "a\"b\\c\nd\te") ];
+  Obs.Events.emit e "empty" [];
+  let lines =
+    String.split_on_char '\n' (Obs.Export.events_jsonl e) |> List.filter (fun l -> l <> "")
+  in
+  checki "one line per event" 3 (List.length lines);
+  List.iter (fun l -> checkb ("line is valid JSON: " ^ l) true (json_valid l)) lines
+
+let test_events_bounded_and_absorb () =
+  let e = Obs.Events.create ~cap:4 () in
+  for i = 0 to 9 do
+    Obs.Events.emit e "tick" [ ("i", Obs.Events.Int i) ]
+  done;
+  checki "retained at the cap" 4 (Obs.Events.count e);
+  checki "drops counted" 6 (Obs.Events.dropped e);
+  checkb "every jsonl line (dropped record included) is valid JSON" true
+    (String.split_on_char '\n' (Obs.Export.events_jsonl e)
+    |> List.filter (fun l -> l <> "")
+    |> List.for_all json_valid);
+  let into = Obs.Events.create () in
+  Obs.Events.emit into "first" [];
+  Obs.Events.absorb ~into e;
+  let names = List.map (fun ev -> ev.Obs.Events.name) (Obs.Events.events into) in
+  checkb "absorb appends in order after the host's own events" true
+    (names = [ "first"; "tick"; "tick"; "tick"; "tick" ])
+
+(* ---------- bench snapshot diffing ---------- *)
+
+let write_tmp name contents =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let snapshot_src ~time ~conflicts =
+  Printf.sprintf
+    "{\n\
+     \"schema\": 1,\n\
+     \"bench\": \"unit\",\n\
+     \"kernels\": [ { \"kernel\": \"k1\", \"ii\": 3, \"conflicts\": %d, \"map_time_s\": %s, \
+     \"ok\": true } ]\n\
+     }\n"
+    conflicts time
+
+let load_ok path =
+  match Obs.Bench_diff.load path with Ok s -> s | Error e -> Alcotest.fail e
+
+let diff_ok ?tol ~baseline ~candidate () =
+  match Obs.Bench_diff.diff ?tol ~baseline ~candidate () with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_bench_diff_self () =
+  let snap = load_ok (write_tmp "bench_self.json" (snapshot_src ~time:"0.010" ~conflicts:120)) in
+  let r = diff_ok ~baseline:snap ~candidate:snap () in
+  checkb "self-diff is clean" true (Obs.Bench_diff.ok r);
+  checkb "checked some leaves" true (r.Obs.Bench_diff.checked > 0);
+  checki "no regressions" 0 (List.length r.Obs.Bench_diff.regressions);
+  checkb "human rendering non-empty" true (String.length (Obs.Bench_diff.render_human r) > 0);
+  checkb "machine rendering is valid JSON" true (json_valid (Obs.Bench_diff.render_json r))
+
+let test_bench_diff_time_regression () =
+  let baseline =
+    load_ok (write_tmp "bench_base.json" (snapshot_src ~time:"0.0100" ~conflicts:120))
+  in
+  let candidate =
+    load_ok (write_tmp "bench_cand.json" (snapshot_src ~time:"0.0110" ~conflicts:120))
+  in
+  (* +10% wall clock: flagged under a 5% tolerance ... *)
+  let tight = { Obs.Bench_diff.time_rel = 0.05; count_rel = 0.0 } in
+  let r = diff_ok ~tol:tight ~baseline ~candidate () in
+  checkb "10% time regression flagged at 5% tolerance" false (Obs.Bench_diff.ok r);
+  (match r.Obs.Bench_diff.regressions with
+  | [ f ] ->
+      checkb "classified as wall-clock" true (f.Obs.Bench_diff.cls = Obs.Bench_diff.Time);
+      checkb "relative change is ~+10%" true
+        (f.Obs.Bench_diff.rel > 0.09 && f.Obs.Bench_diff.rel < 0.11)
+  | l -> Alcotest.failf "expected exactly one regression, got %d" (List.length l));
+  (* ... and absorbed by the default generous one *)
+  checkb "10% passes the default 25% tolerance" true
+    (Obs.Bench_diff.ok (diff_ok ~baseline ~candidate ()))
+
+let test_bench_diff_count_exact () =
+  let baseline =
+    load_ok (write_tmp "bench_base2.json" (snapshot_src ~time:"0.0100" ~conflicts:120))
+  in
+  let candidate =
+    load_ok (write_tmp "bench_cand2.json" (snapshot_src ~time:"0.0100" ~conflicts:121))
+  in
+  let r = diff_ok ~baseline ~candidate () in
+  checkb "one extra conflict fails the exact default" false (Obs.Bench_diff.ok r);
+  match r.Obs.Bench_diff.regressions with
+  | [ f ] -> checkb "classified as deterministic work" true (f.Obs.Bench_diff.cls = Obs.Bench_diff.Count)
+  | l -> Alcotest.failf "expected exactly one regression, got %d" (List.length l)
+
+let test_bench_diff_stamp_guard () =
+  (* an unstamped file refuses to load ... *)
+  (match Obs.Bench_diff.load (write_tmp "bench_unstamped.json" "{\"kernels\": []}\n") with
+  | Ok _ -> Alcotest.fail "unstamped snapshot must not load"
+  | Error e -> checkb "error names the stamp" true (String.length e > 0));
+  (* ... and stamped-but-different snapshots refuse to diff *)
+  let a = load_ok (write_tmp "bench_s1.json" (snapshot_src ~time:"0.01" ~conflicts:1)) in
+  let other =
+    "{\n\"schema\": 2,\n\"bench\": \"unit\",\n\"kernels\": []\n}\n"
+  in
+  let b = load_ok (write_tmp "bench_s2.json" other) in
+  match Obs.Bench_diff.diff ~baseline:a ~candidate:b () with
+  | Ok _ -> Alcotest.fail "schema mismatch must be an error"
+  | Error e -> checkb "mismatch error is descriptive" true (String.length e > 0)
+
+(* ---------- event determinism through the harness ---------- *)
+
+let events_of_run seed =
+  let k = Kernels.dot_product () in
+  let p = Problem.temporal ~init:k.init ~dfg:k.dfg ~cgra:cgra44 () in
+  let obs =
+    Ctx.v ~events:(Obs.Events.create ()) ~trace:Obs.Trace.off ~metrics:(Obs.Metrics.create ())
+      ()
+  in
+  let chain = [ failing_tier; Ocgra_mappers.Registry.find "modulo-greedy" ] in
+  let o = Mapper.Harness.run ~seed ~retries:1 ~deadline_s:30.0 ~obs chain p in
+  checkb "mapped" true (o.Mapper.mapping <> None);
+  Obs.Export.events_jsonl (Ctx.events obs)
+
+let test_harness_events_deterministic () =
+  let a = events_of_run 7 and b = events_of_run 7 in
+  checks "same seed, byte-identical event log" a b;
+  checkb "tier verdicts present" true
+    (String.split_on_char '\n' a
+    |> List.exists (fun l ->
+           json_valid l
+           && String.length l > 0
+           &&
+           let has needle =
+             let nl = String.length needle and ll = String.length l in
+             let rec at i = i + nl <= ll && (String.sub l i nl = needle || at (i + 1)) in
+             at 0
+           in
+           has "harness.tier" && has "won"))
 
 let () =
   Alcotest.run "obs"
@@ -352,5 +593,31 @@ let () =
         [
           Alcotest.test_case "sequential trail" `Quick test_harness_run_trail;
           Alcotest.test_case "race trail verdicts" `Quick test_race_trail_verdicts;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket scheme" `Quick test_hist_buckets;
+          Alcotest.test_case "summary quantiles" `Quick test_hist_summary;
+          QCheck_alcotest.to_alcotest qcheck_hist_merge_order_invariant;
+          Alcotest.test_case "parallel recording deterministic" `Quick
+            test_hist_parallel_deterministic;
+          Alcotest.test_case "gauges merge without summing" `Quick test_gauge_merge_not_summed;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "jsonl lines are valid JSON" `Quick test_events_jsonl_valid;
+          Alcotest.test_case "bounded log and absorb order" `Quick
+            test_events_bounded_and_absorb;
+          Alcotest.test_case "harness event log deterministic" `Quick
+            test_harness_events_deterministic;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "identical snapshots self-diff clean" `Quick test_bench_diff_self;
+          Alcotest.test_case "10% time regression flagged" `Quick
+            test_bench_diff_time_regression;
+          Alcotest.test_case "counts compare exactly by default" `Quick
+            test_bench_diff_count_exact;
+          Alcotest.test_case "stamp and schema guard" `Quick test_bench_diff_stamp_guard;
         ] );
     ]

@@ -21,7 +21,7 @@ let checki = Alcotest.check Alcotest.int
 
 let live_obs () =
   let metrics = Ocgra_obs.Metrics.create () in
-  (Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics, metrics)
+  (Ocgra_obs.Ctx.v ~trace:Ocgra_obs.Trace.off ~metrics (), metrics)
 
 let counter metrics name =
   match List.assoc_opt name (Ocgra_obs.Metrics.dump metrics) with Some v -> v | None -> 0
