@@ -20,6 +20,7 @@ let quick = List.mem "quick" args
 let t1b_only = List.mem "t1b-only" args
 let repair_only = List.mem "repair-only" args
 let sat_sweep_only = List.mem "sat-sweep-only" args
+let serve_only = List.mem "serve-only" args
 let bench_resume = List.mem "resume" args
 
 let bench_journal =
@@ -1079,6 +1080,191 @@ let bechamel_suite () =
         stats)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Serve: mapping-as-a-service, canonical-form cache                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The request stream is generated (seed-deterministically), committed
+   as SERVE_STREAM.jsonl, and replayed through the same wire codec the
+   daemon uses.  Mix: one cold request per kernel, exact duplicates,
+   isomorphic renamings (random node permutations via [Canon.permute]),
+   three kernels whose fault mask grows in nested seeded steps (repair
+   territory), and one off-architecture request (a genuinely new cache
+   class).  Well over 30% of the stream is duplicate-or-isomorphic, so
+   the cache-hit path dominates and its latency separates cleanly from
+   the cold maps. *)
+
+let serve_seed = 5
+let serve_chunk = 8
+let serve_kernels = [ "dot-product"; "saxpy"; "fir4"; "absdiff"; "running-max"; "horner" ]
+let serve_grow_kernels = [ "saxpy"; "fir4"; "absdiff" ]
+
+let serve_stream () =
+  let module W = Ocgra_svc.Wire in
+  let rng = Ocgra_util.Rng.create serve_seed in
+  let base name = { W.default_req with W.payload = W.Kernel name } in
+  let colds = List.map (fun k -> { (base k) with W.id = "cold-" ^ k }) serve_kernels in
+  (* two nested-mask growth families on disjoint kernel sets (one
+     entry per class — mixing mask shapes on one kernel would make the
+     steps incomparable and force cold maps): a seeded family whose
+     mask grows by re-drawing more faults from the same stream, and an
+     explicit family that knocks out named PEs/links, covering both
+     mask forms of the wire codec *)
+  let grow kernels step faults n =
+    List.map
+      (fun k ->
+        {
+          (base k) with
+          W.id = Printf.sprintf "%s-%s" step k;
+          faults;
+          n_faults = n;
+          fault_seed = 3;
+        })
+      kernels
+  in
+  let seeded n = grow serve_grow_kernels (Printf.sprintf "seed%d" n) [] n in
+  let expl = grow [ "dot-product"; "running-max"; "horner" ] in
+  let m1 = [ Ocgra_arch.Fault.Pe_down 1 ] in
+  let m2 = Ocgra_arch.Fault.Pe_down 2 :: m1 in
+  let m3 = Ocgra_arch.Fault.Link_down (9, 10) :: m2 in
+  let arch = [ { (base "dot-product") with W.id = "arch-5x5"; rows = 5; cols = 5 } ] in
+  (* duplicates and renamings, two of each per kernel, interleaved *)
+  let warm =
+    List.concat_map
+      (fun k ->
+        let dfg = (Ocgra_workloads.Kernels.find k).Ocgra_workloads.Kernels.dfg in
+        List.concat_map
+          (fun i ->
+            let perm =
+              Ocgra_util.Rng.shuffle rng (Array.init (Ocgra_dfg.Dfg.node_count dfg) Fun.id)
+            in
+            [
+              { (base k) with W.id = Printf.sprintf "dup-%s-%d" k i };
+              {
+                W.default_req with
+                W.id = Printf.sprintf "iso-%s-%d" k i;
+                payload = W.Inline (Ocgra_svc.Canon.permute dfg perm);
+              };
+            ])
+          [ 1; 2 ])
+      serve_kernels
+  in
+  colds @ seeded 2 @ expl "mask1" m1 0 @ arch @ warm @ seeded 4 @ expl "mask2" m2 0
+  @ seeded 6 @ expl "mask3" m3 0
+
+let serve_bench () =
+  section "Serve: canonical-form mapping cache + fault-driven incremental remap";
+  let module W = Ocgra_svc.Wire in
+  let module Svc = Ocgra_svc.Svc in
+  let stream = serve_stream () in
+  let oc = open_out "SERVE_STREAM.jsonl" in
+  List.iter (fun r -> output_string oc (W.req_to_json r ^ "\n")) stream;
+  close_out oc;
+  (* replay through the wire codec — the daemon's exact input path *)
+  let lookup name =
+    match Ocgra_workloads.Kernels.find name with
+    | k -> Ok k.Ocgra_workloads.Kernels.dfg
+    | exception Invalid_argument m -> Error m
+  in
+  let reqs =
+    List.map
+      (fun line ->
+        match W.parse_req line with
+        | Ok r -> (
+            match W.to_request ~lookup r with
+            | Ok req -> req
+            | Error m -> failwith ("serve bench: " ^ m))
+        | Error m -> failwith ("serve bench: " ^ m))
+      (Ocgra_par.Journal.read_lines "SERVE_STREAM.jsonl")
+  in
+  let svc =
+    Svc.create
+      {
+        Svc.default_config with
+        Svc.capacity = 64;
+        chain = [ Ocgra_mappers.Registry.find "modulo-greedy" ];
+        workers = Ocgra_par.Pool.default_workers ();
+        seed = 7;
+      }
+  in
+  let t0 = Ocgra_core.Deadline.now () in
+  let rec drain acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let chunk = List.filteri (fun i _ -> i < serve_chunk) rest in
+        let rest = List.filteri (fun i _ -> i >= serve_chunk) rest in
+        drain (List.rev_append (Svc.submit_batch svc chunk) acc) rest
+  in
+  let responses = drain [] reqs in
+  let wall = Ocgra_core.Deadline.now () -. t0 in
+  let lat pred = List.filter_map (fun (r : Svc.response) -> if pred r.Svc.served then Some r.Svc.elapsed_s else None) responses in
+  let hits = lat (function Svc.Hit | Svc.Iso_hit -> true | _ -> false) in
+  let isos = lat (function Svc.Iso_hit -> true | _ -> false) in
+  let repairs = lat (function Svc.Repair_hit _ -> true | _ -> false) in
+  let colds = lat (function Svc.Miss -> true | _ -> false) in
+  let med l = Option.value (median_of l) ~default:0.0 in
+  let p90 l =
+    match List.sort compare l with
+    | [] -> 0.0
+    | s -> List.nth s (min (List.length s - 1) (List.length s * 9 / 10))
+  in
+  let rungs =
+    List.filter_map
+      (fun (r : Svc.response) ->
+        match r.Svc.served with
+        | Svc.Repair_hit rung -> Some (Ocgra_core.Mapper.rung_to_string rung)
+        | _ -> None)
+      responses
+  in
+  let s = Svc.stats svc in
+  let speedup = if med hits > 0.0 then med colds /. med hits else 0.0 in
+  Printf.printf "  %-28s %8s %14s %14s\n" "path" "count" "median" "p90";
+  let row name l =
+    Printf.printf "  %-28s %8d %11.1f us %11.1f us\n" name (List.length l)
+      (med l *. 1e6) (p90 l *. 1e6)
+  in
+  row "hit (exact + isomorphic)" hits;
+  row "  of which isomorphic" isos;
+  row "repair-hit (mask grew)" repairs;
+  row "cold map (miss)" colds;
+  Printf.printf "  hit vs cold speedup: %.0fx%s\n" speedup
+    (if speedup >= 100.0 then "  (>= 100x)" else "  (BELOW 100x)");
+  Printf.printf
+    "  totals: %d requests, %d hits + %d iso + %d repair / %d cold, %d rejected, %d coalesced, \
+     %d demotions, cache %d entries\n"
+    s.Svc.requests s.Svc.hits s.Svc.iso_hits s.Svc.repair_hits s.Svc.misses s.Svc.rejections
+    s.Svc.coalesced s.Svc.demotions s.Svc.entries;
+  let oc = open_out "BENCH_PR10.json" in
+  bench_stamp oc "serve";
+  output_string oc
+    (Printf.sprintf "\"seed\": %d,\n\"chunk\": %d,\n\"requests\": %d,\n" serve_seed serve_chunk
+       s.Svc.requests);
+  output_string oc
+    (Printf.sprintf
+       "\"counts\": {\"hits\": %d, \"iso_hits\": %d, \"repair_hits\": %d, \"misses\": %d, \
+        \"rejections\": %d, \"coalesced\": %d, \"demotions\": %d, \"entries\": %d, \
+        \"evictions\": %d},\n"
+       s.Svc.hits s.Svc.iso_hits s.Svc.repair_hits s.Svc.misses s.Svc.rejections s.Svc.coalesced
+       s.Svc.demotions s.Svc.entries s.Svc.evictions);
+  output_string oc
+    (Printf.sprintf "\"rungs\": {%s},\n"
+       (String.concat ", "
+          (List.map
+             (fun r ->
+               Printf.sprintf "\"%s\": %d" (json_escape r)
+                 (List.length (List.filter (( = ) r) rungs)))
+             (List.sort_uniq compare rungs))));
+  output_string oc
+    (Printf.sprintf
+       "\"latency\": {\"hit_median_s\": %.9f, \"hit_p90_s\": %.9f, \"iso_hit_median_s\": %.9f, \
+        \"repair_median_s\": %.9f, \"cold_median_s\": %.9f, \"wall_s\": %.6f},\n"
+       (med hits) (p90 hits) (med isos) (med repairs) (med colds) wall);
+  output_string oc
+    (Printf.sprintf "\"speedup_hit_vs_cold\": %.1f,\n\"speedup_ge_100x\": %b\n}\n" speedup
+       (speedup >= 100.0));
+  close_out oc;
+  print_endline "  wrote SERVE_STREAM.jsonl + BENCH_PR10.json"
+
 let run_everything () =
   t1a ();
   f4 ();
@@ -1096,6 +1282,7 @@ let run_everything () =
   t1b ();
   repair_bench ();
   sat_sweep_bench ();
+  serve_bench ();
   ab_exact_scaling ();
   bechamel_suite ();
   print_endline "\nAll artifacts regenerated."
@@ -1140,5 +1327,9 @@ let () =
   else if sat_sweep_only then begin
     sat_sweep_bench ();
     print_endline "\nSAT incremental-sweep comparison regenerated."
+  end
+  else if serve_only then begin
+    serve_bench ();
+    print_endline "\nServe-cache stream replay regenerated."
   end
   else run_everything ()

@@ -502,6 +502,150 @@ let report_cmd =
           Schema-stamped snapshots only; mismatched schema or bench names are refused.")
     Term.(const run $ candidate_t $ against_t $ tol_time_t $ tol_count_t $ json_t)
 
+(* The mapping daemon: JSONL requests in, JSONL responses out, one
+   canonical-form cache across the whole stream.  A malformed line
+   costs an error *response* and a non-zero exit at the end — the
+   daemon itself never crashes on input. *)
+let serve_cmd =
+  let run input output batch cache_cap mapper fallback jobs seed deadline retries trace metrics
+      events =
+    let obs = mk_obs trace metrics events in
+    let svc =
+      Ocgra_svc.Svc.create ~obs
+        {
+          Ocgra_svc.Svc.default_config with
+          Ocgra_svc.Svc.capacity = cache_cap;
+          chain = chain_of mapper fallback;
+          workers = resolve_jobs jobs;
+          deadline_s = deadline;
+          seed;
+          retries;
+        }
+    in
+    let lookup name =
+      match Ocgra_workloads.Kernels.find name with
+      | k -> Ok k.Ocgra_workloads.Kernels.dfg
+      | exception Invalid_argument m -> Error m
+    in
+    let lines =
+      match input with
+      | "-" ->
+          let rec go acc =
+            match input_line stdin with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          List.filter (fun l -> String.trim l <> "") (go [])
+      | path -> Ocgra_par.Journal.read_lines path
+    in
+    (* responses go through the journal's fsync discipline when writing
+       to a file, so a killed daemon leaves at most one torn tail *)
+    let journal, to_stdout =
+      match output with
+      | None -> (None, true)
+      | Some path -> (Some (Ocgra_par.Journal.open_append ~fresh:true ~fsync_every:64 path), false)
+    in
+    let emit line =
+      match journal with Some j -> Ocgra_par.Journal.append j line | None -> print_endline line
+    in
+    let errors = ref 0 in
+    let t0 = Ocgra_core.Deadline.now () in
+    (* classify each line, then serve batch-by-batch; responses keep
+       input order, with error responses interleaved back in place *)
+    let items =
+      List.mapi
+        (fun i line ->
+          match Ocgra_svc.Wire.parse_req line with
+          | Ok r -> (
+              match Ocgra_svc.Wire.to_request ~lookup r with
+              | Ok req -> Ok req
+              | Error msg ->
+                  incr errors;
+                  Error (Ocgra_svc.Wire.error_to_json ~id:r.Ocgra_svc.Wire.id msg))
+          | Error msg ->
+              incr errors;
+              Error
+                (Ocgra_svc.Wire.error_to_json
+                   ~id:(Ocgra_svc.Wire.salvage_id ~line:(i + 1) line)
+                   msg))
+        lines
+    in
+    let rec chunks = function
+      | [] -> ()
+      | rest ->
+          let n = List.length rest in
+          let take = min batch n in
+          let chunk = List.filteri (fun i _ -> i < take) rest in
+          let rest = List.filteri (fun i _ -> i >= take) rest in
+          let reqs = List.filter_map (function Ok r -> Some r | Error _ -> None) chunk in
+          let resps = ref (Ocgra_svc.Svc.submit_batch svc reqs) in
+          List.iter
+            (function
+              | Error line -> emit line
+              | Ok _ -> (
+                  match !resps with
+                  | r :: tl ->
+                      resps := tl;
+                      emit (Ocgra_svc.Wire.response_to_json r)
+                  | [] -> ()))
+            chunk;
+          chunks rest
+    in
+    chunks items;
+    Option.iter Ocgra_par.Journal.close journal;
+    let s = Ocgra_svc.Svc.stats svc in
+    let summary =
+      Printf.sprintf
+        "serve: %d requests in %.2fs: %d hits + %d iso + %d repair / %d cold, %d rejected, %d \
+         errors; cache %d/%d entries, %d evictions, %d coalesced, %d demotions"
+        (List.length lines)
+        (Ocgra_core.Deadline.now () -. t0)
+        s.Ocgra_svc.Svc.hits s.Ocgra_svc.Svc.iso_hits s.Ocgra_svc.Svc.repair_hits
+        s.Ocgra_svc.Svc.misses s.Ocgra_svc.Svc.rejections !errors s.Ocgra_svc.Svc.entries
+        cache_cap s.Ocgra_svc.Svc.evictions s.Ocgra_svc.Svc.coalesced s.Ocgra_svc.Svc.demotions
+    in
+    if to_stdout then prerr_endline summary else print_endline summary;
+    write_obs obs trace metrics events;
+    if !errors > 0 then exit 1
+  in
+  let input_t =
+    Arg.(
+      value & opt string "-"
+      & info [ "in" ] ~docv:"FILE" ~doc:"Request stream, one JSON object per line; - = stdin.")
+  in
+  let output_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write responses to $(docv) (append-only journal, fsynced in batches); default \
+             stdout.  Responses carry no wall-clock fields, so the file is byte-identical \
+             across $(b,--jobs) values.")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ]
+          ~doc:
+            "Serve requests in batches of $(docv): misses drain the pool together, in-batch \
+             duplicates coalesce onto one cold map.")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~doc:"Mapping-cache capacity (LRU by request order beyond this).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Mapping as a service: read JSONL mapping requests, serve them through the \
+          canonical-form cache (isomorphic kernels hit; grown fault masks repair instead of \
+          remapping), write JSONL responses.  Exits non-zero if any line was malformed.")
+    Term.(
+      const run $ input_t $ output_t $ batch_t $ cache_t $ mapper_t $ fallback_t $ jobs_t
+      $ seed_t $ deadline_t $ retries_t $ trace_t $ metrics_t $ events_t)
+
 let table1_cmd =
   let run () = print_string (Ocgra_biblio.Table1.render ()) in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the survey's Table I") Term.(const run $ const ())
@@ -515,4 +659,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; arch_cmd; map_cmd; sim_cmd; report_cmd; table1_cmd; timeline_cmd ]))
+          [ list_cmd; arch_cmd; map_cmd; sim_cmd; serve_cmd; report_cmd; table1_cmd; timeline_cmd ]))

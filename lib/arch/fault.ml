@@ -39,6 +39,20 @@ let list_to_string faults =
   | [] -> "none"
   | faults -> String.concat ", " (List.map to_string faults)
 
+(* Mask inclusion over canonical forms — one merge-style walk, so the
+   mapping cache's hit/repair/miss decision never depends on the order
+   faults were injected in. *)
+let subset a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' ->
+        let c = compare x y in
+        if c = 0 then go a' b' else if c > 0 then go a b' else false
+  in
+  go (canonical a) (canonical b)
+
 (* ---------- transient events ----------
 
    Where the permanent faults above describe silicon that is *gone*,

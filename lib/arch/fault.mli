@@ -29,6 +29,14 @@ val canonical : t list -> t list
     empty list. *)
 val list_to_string : t list -> string
 
+(** [subset a b]: does every fault of [a] appear in [b]?  Both sides
+    are taken to their {!canonical} form first, so injection order and
+    duplicates never matter.  This is the mask half of the mapping
+    cache's hit/repair/miss decision: a request mask that is a subset
+    of the cached one is a pure hit (fewer constraints), a superset is
+    a repair, anything else is a miss. *)
+val subset : t list -> t list -> bool
+
 (** {2 Transient events}
 
     Soft errors that strike {e during} a run, as opposed to the

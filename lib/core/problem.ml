@@ -52,6 +52,33 @@ let mappable t =
     (fun nd acc -> acc && Cgra.capable_pes t.cgra nd.Dfg.op <> [])
     t.dfg true
 
+(* Everything about the problem that is NOT the DFG and NOT the fault
+   mask: the fabric (dimensions, topology, per-PE capability classes,
+   RF depth, immediate field) and the problem kind with its bounds.
+   Two problems with equal signatures accept the same mappings up to
+   the DFG and the degradation — which is exactly the split the
+   mapping cache keys on: the DFG goes through canonicalization, and
+   the fault mask is compared separately so a grown mask can take the
+   repair path instead of forcing a cold miss. *)
+let signature t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%dx%d:%s" t.cgra.Cgra.rows t.cgra.Cgra.cols
+       (Topology.to_string t.cgra.Cgra.topology));
+  Array.iter
+    (fun (pe : Pe.t) ->
+      Buffer.add_char b '|';
+      List.iter
+        (fun c -> Buffer.add_string b (Ocgra_dfg.Op.func_class_to_string c))
+        pe.Pe.classes;
+      Buffer.add_string b (Printf.sprintf ":%d%s" pe.Pe.rf_size (if pe.Pe.has_const then "c" else "")))
+    t.cgra.Cgra.pes;
+  Buffer.add_string b
+    (match t.kind with
+    | Spatial -> ";spatial"
+    | Temporal { max_ii; max_time } -> Printf.sprintf ";temporal:%d:%d" max_ii max_time);
+  Buffer.contents b
+
 let describe t =
   Printf.sprintf "%s on %s (%s, %d ops, %d deps)"
     (match t.kind with

@@ -38,4 +38,13 @@ val max_time : t -> int
     mapper can succeed on this (possibly degraded) array. *)
 val mappable : t -> bool
 
+(** The arch + kind half of a mapping-cache key: fabric dimensions,
+    topology, per-PE capability/RF/immediate description, and the
+    problem kind with its II/time bounds.  The DFG and the fault mask
+    are deliberately {e excluded} — the cache canonicalizes the DFG up
+    to isomorphism and compares fault masks separately (a grown mask is
+    a repair, not a miss).  Equal signatures accept the same mappings
+    modulo those two. *)
+val signature : t -> string
+
 val describe : t -> string

@@ -7,3 +7,18 @@
     when no embedding exists or the step budget ran out. *)
 val find :
   ?max_steps:int -> compatible:(int -> int -> bool) -> Digraph.t -> Digraph.t -> int array option
+
+(** [find_iso ~compatible a b] returns a full {e isomorphism} witness
+    [w] ([w.(i)] = the [b]-node matched to [a]-node [i]), or [None]
+    when the graphs are not isomorphic or the step budget ran out.
+
+    Unlike {!find}, this demands an exact structural bijection: equal
+    node and edge counts, exactly matching in/out degrees per matched
+    pair, and — the labelled-multigraph refinement the mapping cache
+    relies on — for every matched node pair the {e weight multiset} of
+    the parallel edges between them must coincide (edge weights are how
+    callers encode edge labels such as (port, dist)).  Deterministic:
+    the search order is a pure function of the two graphs, so the same
+    inputs always return the same witness. *)
+val find_iso :
+  ?max_steps:int -> compatible:(int -> int -> bool) -> Digraph.t -> Digraph.t -> int array option

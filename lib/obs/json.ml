@@ -200,3 +200,15 @@ let to_float = function
 let to_string = function
   | Str s -> Some s
   | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 2.0 ** 53.0 -> Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let to_list = function
+  | Arr xs -> Some xs
+  | _ -> None

@@ -17,3 +17,11 @@ val parse : string -> (t, string) result
 val member : string -> t -> t option
 val to_float : t -> float option
 val to_string : t -> string option
+
+val to_int : t -> int option
+(** [Num] values that are exact integers only; [None] otherwise. *)
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option
+(** [Arr] elements; [None] for any other kind. *)

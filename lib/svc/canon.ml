@@ -1,0 +1,143 @@
+(* Canonical form of a kernel: Weisfeiler-Leman colour refinement over
+   the labelled dependence multigraph, refined on demand by an exact
+   isomorphism search.
+
+   The node label is deliberately *not* the full op.  [Check.validate]
+   accepts a binding for op [o] on PE [p] iff [Pe.supports p o], and
+   that predicate only looks at (a) whether [o] is a [Const] (immediate
+   slot needed) and (b) the functional class otherwise; scheduling only
+   adds the latency.  So two ops with equal (const?, class, latency)
+   triples are interchangeable for mapping purposes — [mul] by any
+   name, [load A] vs [load B], [const 3] vs [const 7] — and the cache
+   gets strictly more hits by labelling with the triple instead of the
+   op.  The returned mapping is still re-certified against the actual
+   request DFG, so the weaker label can never produce a wrong answer,
+   only a demotion to miss if the validator disagrees. *)
+
+module Dfg = Ocgra_dfg.Dfg
+module Op = Ocgra_dfg.Op
+module Digraph = Ocgra_graph.Digraph
+module Iso = Ocgra_graph.Iso
+
+type t = {
+  dfg : Dfg.t;
+  graph : Digraph.t; (* edge weight = (dist lsl 3) lor port *)
+  labels : int array; (* mapping-relevant op identity per node *)
+  colors : int array; (* stable WL colours *)
+  fp : int;
+}
+
+let dfg t = t.dfg
+let fingerprint t = t.fp
+
+(* FNV-ish mixer; constants kept below 2^62 so the literals parse on
+   63-bit native ints.  Quality only has to be good enough that WL
+   colour collisions are rare — the exact search behind [witness]
+   absorbs the rest. *)
+let mix h x =
+  let h = (h lxor (x * 0x2545f4914f6cdd1)) * 0x100000001b3 in
+  (h lxor (h lsr 29)) land max_int
+
+let label op =
+  let cls =
+    match (op : Op.t) with
+    | Op.Const _ -> 0 (* needs the immediate slot, not a class *)
+    | _ -> (
+        match Op.func_class op with
+        | Op.F_alu -> 1
+        | Op.F_mul -> 2
+        | Op.F_mem -> 3
+        | Op.F_io -> 4
+        | Op.F_route -> 5)
+  in
+  (cls * 16) + Op.latency op
+
+let edge_weight (e : Dfg.edge) = (e.Dfg.dist lsl 3) lor e.Dfg.port
+
+let of_dfg dfg =
+  let n = Dfg.node_count dfg in
+  let graph = Digraph.create () in
+  if n > 0 then ignore (Digraph.add_nodes graph n);
+  List.iter
+    (fun (e : Dfg.edge) ->
+      Digraph.add_edge ~weight:(edge_weight e) graph e.Dfg.src e.Dfg.dst)
+    (Dfg.edges dfg);
+  let labels = Array.init n (fun i -> label (Dfg.op dfg i)) in
+  let colors = Array.map (fun l -> mix 0x5eed l) labels in
+  (* A handful of rounds separates everything a WL refinement can
+     separate on kernel-sized graphs (it stabilizes within the graph's
+     diameter); the round count is a function of the (iso-invariant)
+     node count, so isomorphic graphs always run the same refinement.
+     Kept small — this runs on the request fast path, and a coarser
+     colouring only costs [witness] more search, never correctness. *)
+  let rounds = min 5 (max 2 n) in
+  for _ = 1 to rounds do
+    let next = Array.make n 0 in
+    for v = 0 to n - 1 do
+      let ins =
+        List.sort compare
+          (List.map
+             (fun (e : Digraph.edge) -> mix e.Digraph.weight colors.(e.Digraph.src))
+             (Digraph.pred_edges graph v))
+      in
+      let outs =
+        List.sort compare
+          (List.map
+             (fun (e : Digraph.edge) ->
+               mix (e.Digraph.weight + 0x0f0f0f) colors.(e.Digraph.dst))
+             (Digraph.succ_edges graph v))
+      in
+      let h = mix colors.(v) 0x517cc1 in
+      let h = List.fold_left mix h ins in
+      let h = List.fold_left (fun acc x -> mix acc (x lxor 0x2a)) h outs in
+      next.(v) <- h
+    done;
+    Array.blit next 0 colors 0 n
+  done;
+  let fp =
+    let sorted = Array.copy colors in
+    Array.sort compare sorted;
+    let h = mix (mix 0x0c9 n) (Dfg.edge_count dfg) in
+    Array.fold_left mix h sorted
+  in
+  { dfg; graph; labels; colors; fp }
+
+let edge_tuples d =
+  List.sort compare
+    (List.map
+       (fun (e : Dfg.edge) -> (e.Dfg.src, e.Dfg.dst, e.Dfg.port, e.Dfg.dist))
+       (Dfg.edges d))
+
+let witness a b =
+  let n = Array.length a.labels in
+  if a.fp <> b.fp || n <> Array.length b.labels then None
+  else if a.labels = b.labels && edge_tuples a.dfg = edge_tuples b.dfg then
+    (* exact duplicate under the identity: the common case for resubmitted
+       kernels, served without a search *)
+    Some (Array.init n (fun i -> i))
+  else
+    (* WL colours prune the exact search: a true isomorphism maps every
+       node onto one with the same stable colour.  Labels are re-checked
+       explicitly in case two different labels collided into one colour. *)
+    Iso.find_iso
+      ~compatible:(fun i j -> a.labels.(i) = b.labels.(j) && a.colors.(i) = b.colors.(j))
+      a.graph b.graph
+
+let permute d p =
+  let n = Dfg.node_count d in
+  if Array.length p <> n then invalid_arg "Canon.permute: length mismatch";
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= n || inv.(j) >= 0 then invalid_arg "Canon.permute: not a permutation";
+      inv.(j) <- i)
+    p;
+  let out = Dfg.create () in
+  for j = 0 to n - 1 do
+    ignore (Dfg.add ~name:(Dfg.name d inv.(j)) out (Dfg.op d inv.(j)))
+  done;
+  List.iter
+    (fun (e : Dfg.edge) ->
+      Dfg.add_edge ~dist:e.Dfg.dist ~port:e.Dfg.port out ~src:p.(e.Dfg.src) ~dst:p.(e.Dfg.dst))
+    (Dfg.edges d);
+  out

@@ -1,0 +1,479 @@
+(* Mapping as a service: batch classification against the canonical-form
+   cache, certified repair for grown fault masks, supervised parallel
+   cold maps for the rest.
+
+   The batch algorithm is three sequential-parallel-sequential phases,
+   which is what makes the whole service deterministic in everything
+   but wall-clock fields:
+
+   phase 1 (sequential, request order): canonicalize, look up, and
+     resolve hits and repair hits inline.  Misses are queued; a miss
+     isomorphic to an earlier queued miss (same arch signature, same
+     canonical mask) coalesces onto it instead of mapping twice.
+
+   phase 2 (parallel): the distinct misses drain through one
+     [Supervise.run] over the domain pool.  Each task is a
+     single-worker [Harness.race] — sequential inside, so its outcome
+     does not depend on scheduling — writing into a private [Ctx.fork].
+
+   phase 3 (sequential, miss order then request order): fold the fork
+     sinks back in miss order, insert results into the cache (evicting
+     deterministically), resolve coalesced duplicates from the
+     just-inserted entries, then emit one [svc.request] event per
+     request in request order.  Events never carry latencies. *)
+
+module Dfg = Ocgra_dfg.Dfg
+module Fault = Ocgra_arch.Fault
+module Cgra = Ocgra_arch.Cgra
+module Problem = Ocgra_core.Problem
+module Mapping = Ocgra_core.Mapping
+module Mapper = Ocgra_core.Mapper
+module Check = Ocgra_core.Check
+module Repair = Ocgra_core.Repair
+module Deadline = Ocgra_core.Deadline
+module Ctx = Ocgra_obs.Ctx
+module Events = Ocgra_obs.Events
+module Supervise = Ocgra_par.Supervise
+
+type config = {
+  capacity : int;
+  chain : Mapper.t list;
+  workers : int;
+  deadline_s : float option;
+  seed : int;
+  retries : int;
+  max_ii_bumps : int;
+}
+
+let default_config =
+  {
+    capacity = 256;
+    chain = [];
+    workers = 1;
+    deadline_s = None;
+    seed = 42;
+    retries = 1;
+    max_ii_bumps = 2;
+  }
+
+type request = {
+  id : string;
+  dfg : Dfg.t;
+  cgra : Cgra.t;
+  spatial : bool;
+  max_ii : int option;
+}
+
+type served =
+  | Hit
+  | Iso_hit
+  | Repair_hit of Mapper.rung
+  | Miss
+  | Rejected
+
+let served_to_string = function
+  | Hit -> "hit"
+  | Iso_hit -> "iso-hit"
+  | Repair_hit _ -> "repair-hit"
+  | Miss -> "miss"
+  | Rejected -> "rejected"
+
+type response = {
+  id : string;
+  served : served;
+  mapping : Mapping.t option;
+  ii : int option;
+  elapsed_s : float;
+  note : string;
+}
+
+type stats = {
+  requests : int;
+  hits : int;
+  iso_hits : int;
+  repair_hits : int;
+  misses : int;
+  rejections : int;
+  coalesced : int;
+  demotions : int;
+  entries : int;
+  evictions : int;
+}
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  obs : Ctx.t;
+  mutable requests : int;
+  mutable hits : int;
+  mutable iso_hits : int;
+  mutable repair_hits : int;
+  mutable misses : int;
+  mutable rejections : int;
+  mutable coalesced : int;
+  mutable demotions : int;
+}
+
+let create ?(obs = Ctx.off) config =
+  if config.chain = [] then invalid_arg "Svc.create: empty mapper chain";
+  {
+    config;
+    cache = Cache.create ~capacity:config.capacity;
+    obs;
+    requests = 0;
+    hits = 0;
+    iso_hits = 0;
+    repair_hits = 0;
+    misses = 0;
+    rejections = 0;
+    coalesced = 0;
+    demotions = 0;
+  }
+
+let stats t =
+  {
+    requests = t.requests;
+    hits = t.hits;
+    iso_hits = t.iso_hits;
+    repair_hits = t.repair_hits;
+    misses = t.misses;
+    rejections = t.rejections;
+    coalesced = t.coalesced;
+    demotions = t.demotions;
+    entries = Cache.size t.cache;
+    evictions = Cache.evictions t.cache;
+  }
+
+let is_identity w =
+  let ok = ref true in
+  Array.iteri (fun i j -> if i <> j then ok := false) w;
+  !ok
+
+let invert w =
+  let inv = Array.make (Array.length w) 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) w;
+  inv
+
+(* Rewrite a mapping of [src_dfg] into [dst_dfg]'s numbering under the
+   node bijection [witness].  Bindings permute directly.  Routes are
+   keyed by their consumer slot: [Dfg.validate] guarantees one producer
+   per (dst, port), so the pair identifies the matching source edge;
+   the hops inside a route are PE/cycle coordinates and survive a node
+   renaming unchanged. *)
+let permute_mapping ~src_dfg ~dst_dfg ~witness (m : Mapping.t) =
+  let n = Dfg.node_count src_dfg in
+  let binding = Array.make n (0, 0) in
+  Array.iteri (fun i j -> binding.(j) <- m.Mapping.binding.(i)) witness;
+  let by_slot = Hashtbl.create (max 16 (Dfg.edge_count src_dfg)) in
+  List.iteri
+    (fun idx (e : Dfg.edge) -> Hashtbl.replace by_slot (e.Dfg.dst, e.Dfg.port) idx)
+    (Dfg.edges src_dfg);
+  let inv = invert witness in
+  let routes =
+    Array.of_list
+      (List.map
+         (fun (e : Dfg.edge) ->
+           match Hashtbl.find_opt by_slot (inv.(e.Dfg.dst), e.Dfg.port) with
+           | Some idx -> m.Mapping.routes.(idx)
+           | None -> [] (* impossible under a true witness; validate rejects *))
+         (Dfg.edges dst_dfg))
+  in
+  { m with Mapping.binding; routes }
+
+let mk_problem req =
+  if req.spatial then Problem.spatial ~dfg:req.dfg ~cgra:req.cgra ()
+  else Problem.temporal ?max_ii:req.max_ii ~dfg:req.dfg ~cgra:req.cgra ()
+
+(* One queued cold map: the first request of its (arch, mask, iso
+   class) triple in this batch; later equivalents coalesce onto it. *)
+type pending = {
+  p_index : int; (* position in the miss queue *)
+  p_req : request;
+  p_req_index : int;
+  p_key : string;
+  p_canon : Canon.t;
+  p_mask : Fault.t list;
+  p_problem : Problem.t;
+  p_obs : Ctx.t; (* private fork, absorbed in miss order *)
+}
+
+let submit_batch t reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let responses : response option array = Array.make n None in
+  let pendings = ref [] in
+  let n_pending = ref 0 in
+  let dups = ref [] in
+  (* ---- phase 1: sequential classification ---- *)
+  Array.iteri
+    (fun i (req : request) ->
+      let t0 = Deadline.now () in
+      let finish served mapping note =
+        responses.(i) <-
+          Some
+            {
+              id = req.id;
+              served;
+              mapping;
+              ii = Option.map (fun (m : Mapping.t) -> m.Mapping.ii) mapping;
+              elapsed_s = Deadline.now () -. t0;
+              note;
+            }
+      in
+      match Dfg.validate req.dfg with
+      | _ :: _ as errs ->
+          finish Rejected None ("invalid DFG: " ^ String.concat "; " errs)
+      | [] ->
+          let canon = Canon.of_dfg req.dfg in
+          let problem = mk_problem req in
+          let key = Problem.signature problem in
+          let mask = Fault.canonical (Cgra.faults req.cgra) in
+          let queue_miss () =
+            if not (Problem.mappable problem) then
+              finish Rejected None "unmappable: some op has no capable live PE"
+            else
+              match
+                List.find_opt
+                  (fun p ->
+                    p.p_key = key && p.p_mask = mask
+                    && Canon.witness p.p_canon canon <> None)
+                  !pendings
+              with
+              | Some p -> dups := (p, i, canon, problem) :: !dups
+              | None ->
+                  let p =
+                    {
+                      p_index = !n_pending;
+                      p_req = req;
+                      p_req_index = i;
+                      p_key = key;
+                      p_canon = canon;
+                      p_mask = mask;
+                      p_problem = problem;
+                      p_obs = Ctx.fork t.obs;
+                    }
+                  in
+                  incr n_pending;
+                  pendings := p :: !pendings
+          in
+          (match Cache.lookup t.cache ~key canon with
+          | None -> queue_miss ()
+          | Some (entry, w) ->
+              if Fault.subset mask entry.Cache.mask then begin
+                (* cached mapping avoids a superset of the request's dead
+                   resources: permute and re-certify on the request *)
+                let m =
+                  permute_mapping ~src_dfg:(Canon.dfg entry.Cache.canon)
+                    ~dst_dfg:req.dfg ~witness:w entry.Cache.mapping
+                in
+                match Check.validate problem m with
+                | [] ->
+                    finish (if is_identity w then Hit else Iso_hit) (Some m) "served from cache"
+                | _ :: _ ->
+                    (* stale bound or collision artefact: never return an
+                       uncertified mapping — remap cold instead *)
+                    t.demotions <- t.demotions + 1;
+                    queue_miss ()
+              end
+              else if Fault.subset entry.Cache.mask mask then begin
+                (* the mask grew: climb the certified repair ladder from
+                   the cached mapping instead of mapping cold *)
+                let m_prev =
+                  permute_mapping ~src_dfg:(Canon.dfg entry.Cache.canon)
+                    ~dst_dfg:req.dfg ~witness:w entry.Cache.mapping
+                in
+                let r =
+                  Repair.repair ~seed:t.config.seed
+                    ~deadline:(Deadline.of_seconds t.config.deadline_s)
+                    ~obs:t.obs ~fallback:[] ~workers:1
+                    ~max_ii_bumps:t.config.max_ii_bumps problem m_prev
+                in
+                match (r.Repair.mapping, r.Repair.rung) with
+                | Some m, Some rung ->
+                    (* fold the repaired mapping back into representative
+                       coordinates so the next request at this mask hits *)
+                    entry.Cache.mapping <-
+                      permute_mapping ~src_dfg:req.dfg
+                        ~dst_dfg:(Canon.dfg entry.Cache.canon)
+                        ~witness:(invert w) m;
+                    entry.Cache.mask <- mask;
+                    finish (Repair_hit rung) (Some m) r.Repair.note
+                | _ -> queue_miss ()
+              end
+              else
+                (* incomparable masks: a repair could not certify and a
+                   cached answer could be wrong — cold map and replace *)
+                queue_miss ()))
+    reqs;
+  let pendings = Array.of_list (List.rev !pendings) in
+  (* ---- phase 2: supervised parallel drain of the distinct misses ---- *)
+  let results =
+    if Array.length pendings = 0 then [||]
+    else begin
+      let tasks =
+        Array.map
+          (fun p (_stop : unit -> bool) ->
+            let t0 = Deadline.now () in
+            let o =
+              Mapper.Harness.race ~seed:t.config.seed
+                ?deadline_s:t.config.deadline_s ~workers:1 ~obs:p.p_obs
+                t.config.chain p.p_problem
+            in
+            (o, Deadline.now () -. t0))
+          pendings
+      in
+      let summary =
+        Supervise.run ~workers:t.config.workers ~obs:t.obs
+          ~policy:
+            {
+              Supervise.default_policy with
+              Supervise.retries = t.config.retries;
+              seed = t.config.seed;
+            }
+          tasks
+      in
+      Array.map
+        (function Supervise.Ok r -> Some r | _ -> None)
+        summary.Supervise.outcomes
+    end
+  in
+  (* fork sinks fold back in miss order — a fixed order, so the merged
+     event log is identical on every worker count *)
+  Array.iter (fun p -> Ctx.absorb ~into:t.obs p.p_obs) pendings;
+  (* ---- phase 3: sequential integration ---- *)
+  let inserted : Cache.entry option array = Array.make (Array.length pendings) None in
+  Array.iteri
+    (fun j p ->
+      let finish served mapping elapsed note =
+        responses.(p.p_req_index) <-
+          Some
+            {
+              id = p.p_req.id;
+              served;
+              mapping;
+              ii = Option.map (fun (m : Mapping.t) -> m.Mapping.ii) mapping;
+              elapsed_s = elapsed;
+              note;
+            }
+      in
+      match results.(j) with
+      | Some (o, dt) -> (
+          match o.Mapper.mapping with
+          | Some m ->
+              let entry, victim =
+                Cache.insert t.cache ~key:p.p_key p.p_canon m ~mask:p.p_mask
+              in
+              inserted.(j) <- Some entry;
+              (match victim with
+              | Some v ->
+                  Ctx.event t.obs ~cat:"svc" "svc.evict"
+                    [
+                      ("fp", Events.Str (Printf.sprintf "%x" (Canon.fingerprint v.Cache.canon)));
+                      ("hits", Events.Int v.Cache.hits);
+                    ]
+              | None -> ());
+              finish Miss (Some m) dt o.Mapper.note
+          | None -> finish Rejected None dt o.Mapper.note)
+      | None ->
+          finish Rejected None 0.0 "cold map quarantined by the supervisor")
+    pendings;
+  (* coalesced duplicates: serve from the primary's fresh entry, in
+     request order *)
+  List.iter
+    (fun (p, i, canon, problem) ->
+      let t0 = Deadline.now () in
+      let req = reqs.(i) in
+      let finish served mapping note =
+        t.coalesced <- t.coalesced + 1;
+        responses.(i) <-
+          Some
+            {
+              id = req.id;
+              served;
+              mapping;
+              ii = Option.map (fun (m : Mapping.t) -> m.Mapping.ii) mapping;
+              elapsed_s = Deadline.now () -. t0;
+              note;
+            }
+      in
+      match inserted.(p.p_index) with
+      | None -> finish Rejected None "coalesced onto a failed cold map"
+      | Some entry -> (
+          match Canon.witness entry.Cache.canon canon with
+          | None -> finish Rejected None "coalescing witness vanished"
+          | Some w -> (
+              let m =
+                permute_mapping ~src_dfg:(Canon.dfg entry.Cache.canon)
+                  ~dst_dfg:req.dfg ~witness:w entry.Cache.mapping
+              in
+              match Check.validate problem m with
+              | [] ->
+                  finish (if is_identity w then Hit else Iso_hit) (Some m)
+                    "served from this batch's cold map"
+              | _ :: _ ->
+                  t.demotions <- t.demotions + 1;
+                  finish Rejected None "coalesced mapping failed re-certification")))
+    (List.rev !dups);
+  (* ---- phase 4: accounting + post-hoc events, request order ---- *)
+  let out =
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None ->
+            (* every request was resolved by one of the phases above *)
+            {
+              id = reqs.(i).id;
+              served = Rejected;
+              mapping = None;
+              ii = None;
+              elapsed_s = 0.0;
+              note = "internal: request fell through";
+            })
+      responses
+  in
+  Array.iteri
+    (fun i r ->
+      t.requests <- t.requests + 1;
+      let us = int_of_float (r.elapsed_s *. 1e6) in
+      (match r.served with
+      | Hit ->
+          t.hits <- t.hits + 1;
+          Ctx.incr t.obs "svc.hits";
+          Ctx.observe t.obs "svc.hit_us" us
+      | Iso_hit ->
+          t.iso_hits <- t.iso_hits + 1;
+          Ctx.incr t.obs "svc.iso_hits";
+          Ctx.observe t.obs "svc.hit_us" us
+      | Repair_hit _ ->
+          t.repair_hits <- t.repair_hits + 1;
+          Ctx.incr t.obs "svc.repair_hits";
+          Ctx.observe t.obs "svc.repair_us" us
+      | Miss ->
+          t.misses <- t.misses + 1;
+          Ctx.incr t.obs "svc.misses";
+          Ctx.observe t.obs "svc.miss_us" us
+      | Rejected ->
+          t.rejections <- t.rejections + 1;
+          Ctx.incr t.obs "svc.rejections");
+      Ctx.incr t.obs "svc.requests";
+      Ctx.event t.obs ~cat:"svc" "svc.request"
+        [
+          ("i", Events.Int i);
+          ("id", Events.Str r.id);
+          ("served", Events.Str (served_to_string r.served));
+          ( "rung",
+            Events.Str
+              (match r.served with
+              | Repair_hit rung -> Mapper.rung_to_string rung
+              | _ -> "") );
+          ("ii", Events.Int (match r.ii with Some ii -> ii | None -> -1));
+        ])
+    out;
+  Ctx.incr t.obs "svc.batches";
+  Ctx.event t.obs ~cat:"svc" "svc.batch"
+    [
+      ("requests", Events.Int n);
+      ("cold", Events.Int (Array.length pendings));
+      ("entries", Events.Int (Cache.size t.cache));
+    ];
+  Array.to_list out

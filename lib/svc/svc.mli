@@ -1,0 +1,109 @@
+(** Mapping as a service: a long-lived batch daemon over the mapping
+    stack.
+
+    The service accepts batches of requests (kernel + array + fault
+    mask + problem kind), canonicalizes each DFG (see {!Canon}), and
+    serves each request by the cheapest sufficient path:
+
+    - {b hit}: the isomorphism class is cached and the cached mask
+      covers the request — permute the cached mapping onto the request
+      DFG, re-certify with [Check.validate], answer in microseconds;
+    - {b repair hit}: the class is cached but the request mask has
+      {e grown} (cached mask ⊂ request mask) — run the certified
+      {!Ocgra_core.Repair} ladder from the cached mapping instead of
+      mapping cold, and fold the repaired mapping back into the entry;
+    - {b miss}: everything else — the request drains through a
+      [Supervise]-wrapped pool of [Harness.race] cold maps, and the
+      result is inserted (replacing a same-class entry if the masks
+      were incomparable).
+
+    Every returned mapping — hit, repair or miss — has passed
+    [Check.validate] against the {e request's} problem; a permuted hit
+    the validator rejects is demoted to a miss, never returned.
+
+    {b Determinism contract}: with deterministic mapper chains,
+    responses, cache contents, counters and the event log are pure
+    functions of (config, request stream, batch boundaries) — the
+    worker count never shows through.  Classification is sequential in
+    request order; misses run with a private single-worker race each
+    and a private [Ctx.fork] absorbed in miss order; events are
+    emitted post-hoc in request order and carry no wall-clock
+    payloads.  Latencies exist only as histogram observations and
+    response fields, never in events. *)
+
+type config = {
+  capacity : int;  (** cache entries, LRU beyond this *)
+  chain : Ocgra_core.Mapper.t list;  (** cold-map portfolio; non-empty *)
+  workers : int;  (** pool width for draining a batch's misses *)
+  deadline_s : float option;  (** per-miss / per-repair budget *)
+  seed : int;
+  retries : int;  (** supervised retries per miss task *)
+  max_ii_bumps : int;  (** repair-ladder II headroom *)
+}
+
+(** capacity 256, workers 1, no deadline, seed 42, 1 retry, 2 bumps —
+    and an empty chain the caller must replace. *)
+val default_config : config
+
+type request = {
+  id : string;
+  dfg : Ocgra_dfg.Dfg.t;
+  cgra : Ocgra_arch.Cgra.t;  (** carries the fault mask *)
+  spatial : bool;
+  max_ii : int option;
+}
+
+type served =
+  | Hit  (** exact duplicate (identity witness) *)
+  | Iso_hit  (** isomorphic renaming, permuted back *)
+  | Repair_hit of Ocgra_core.Mapper.rung  (** mask grew; ladder rung that certified *)
+  | Miss  (** cold-mapped this request *)
+  | Rejected  (** no mapping: invalid/unmappable request or all engines failed *)
+
+val served_to_string : served -> string
+
+type response = {
+  id : string;
+  served : served;
+  mapping : Ocgra_core.Mapping.t option;  (** certified on the request DFG *)
+  ii : int option;
+  elapsed_s : float;  (** service time of this request inside the batch *)
+  note : string;
+}
+
+type stats = {
+  requests : int;
+  hits : int;  (** exact duplicates *)
+  iso_hits : int;
+  repair_hits : int;
+  misses : int;
+  rejections : int;
+  coalesced : int;  (** in-batch duplicates folded onto one cold map *)
+  demotions : int;  (** cached mapping failed re-certification -> miss *)
+  entries : int;
+  evictions : int;
+}
+
+type t
+
+(** Raises [Invalid_argument] on an empty chain or capacity < 1. *)
+val create : ?obs:Ocgra_obs.Ctx.t -> config -> t
+
+(** Serve one batch; responses in request order.  Not thread-safe —
+    one submitter at a time (the daemon loop is that submitter). *)
+val submit_batch : t -> request list -> response list
+
+val stats : t -> stats
+
+(** [permute_mapping ~src_dfg ~dst_dfg ~witness m] rewrites a mapping
+    of [src_dfg] into the node numbering of [dst_dfg], where
+    [witness.(i)] is the [dst_dfg] node matching [src_dfg] node [i]:
+    bindings follow the witness, routes are re-associated by their
+    (consumer, port) slot — resource coordinates inside each route are
+    untouched.  Exposed for the property tests. *)
+val permute_mapping :
+  src_dfg:Ocgra_dfg.Dfg.t ->
+  dst_dfg:Ocgra_dfg.Dfg.t ->
+  witness:int array ->
+  Ocgra_core.Mapping.t ->
+  Ocgra_core.Mapping.t

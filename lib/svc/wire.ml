@@ -1,0 +1,417 @@
+(* JSONL wire codec for the mapping daemon.
+
+   The reader rides on [Ocgra_obs.Json] (the same recursive-descent
+   parser the bench regression gate uses); the writer is the tree's
+   usual hand-rolled Buffer style via [Export.buf_add_json_string].
+   Every parse failure is a value, not an exception: the daemon owes a
+   per-line error *response* on malformed input, never a crash. *)
+
+module Dfg = Ocgra_dfg.Dfg
+module Op = Ocgra_dfg.Op
+module Fault = Ocgra_arch.Fault
+module Cgra = Ocgra_arch.Cgra
+module Topology = Ocgra_arch.Topology
+module Mapping = Ocgra_core.Mapping
+module Mapper = Ocgra_core.Mapper
+module Json = Ocgra_obs.Json
+module Export = Ocgra_obs.Export
+
+type payload = Kernel of string | Inline of Dfg.t
+
+type req = {
+  id : string;
+  payload : payload;
+  rows : int;
+  cols : int;
+  topology : string;
+  hetero : bool;
+  rf : int option;
+  faults : Fault.t list;
+  n_faults : int;
+  fault_seed : int;
+  spatial : bool;
+  max_ii : int option;
+}
+
+let default_req =
+  {
+    id = "";
+    payload = Kernel "";
+    rows = 4;
+    cols = 4;
+    topology = "mesh";
+    hetero = false;
+    rf = None;
+    faults = [];
+    n_faults = 0;
+    fault_seed = 1;
+    spatial = false;
+    max_ii = None;
+  }
+
+(* ---------- op codec: reuses [Op.to_string]'s vocabulary ---------- *)
+
+let binops =
+  [ Op.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Min; Max; Lt; Le; Eq; Ne ]
+
+let op_of_code s =
+  match String.index_opt s ' ' with
+  | Some i -> (
+      let head = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match head with
+      | "const" -> (
+          match int_of_string_opt arg with
+          | Some c -> Ok (Op.Const c)
+          | None -> Error (Printf.sprintf "bad const immediate %S" arg))
+      | "in" -> Ok (Op.Input arg)
+      | "out" -> Ok (Op.Output arg)
+      | "load" -> Ok (Op.Load arg)
+      | "store" -> Ok (Op.Store arg)
+      | _ -> Error (Printf.sprintf "unknown op %S" s))
+  | None -> (
+      match s with
+      | "not" -> Ok Op.Not
+      | "neg" -> Ok Op.Neg
+      | "select" -> Ok Op.Select
+      | "route" -> Ok Op.Route
+      | "vote" -> Ok Op.Vote
+      | "cmp" -> Ok Op.Cmp
+      | "nop" -> Ok Op.Nop
+      | _ -> (
+          match List.find_opt (fun b -> Op.binop_to_string b = s) binops with
+          | Some b -> Ok (Op.Binop b)
+          | None -> Error (Printf.sprintf "unknown op %S" s)))
+
+(* ---------- writers ---------- *)
+
+let buf_str = Export.buf_add_json_string
+
+let buf_dfg b d =
+  Buffer.add_string b "{\"nodes\":[";
+  for i = 0 to Dfg.node_count d - 1 do
+    if i > 0 then Buffer.add_char b ',';
+    Buffer.add_string b "{\"op\":";
+    buf_str b (Op.to_string (Dfg.op d i));
+    let name = Dfg.name d i in
+    if name <> "" then begin
+      Buffer.add_string b ",\"name\":";
+      buf_str b name
+    end;
+    Buffer.add_char b '}'
+  done;
+  Buffer.add_string b "],\"edges\":[";
+  List.iteri
+    (fun i (e : Dfg.edge) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "[%d,%d,%d,%d]" e.Dfg.src e.Dfg.dst e.Dfg.port e.Dfg.dist))
+    (Dfg.edges d);
+  Buffer.add_string b "]}"
+
+let buf_fault b = function
+  | Fault.Pe_down pe -> Buffer.add_string b (Printf.sprintf "[\"pe\",%d]" pe)
+  | Fault.Link_down (s, d) -> Buffer.add_string b (Printf.sprintf "[\"link\",%d,%d]" s d)
+  | Fault.Fu_slot_dead (pe, slot) ->
+      Buffer.add_string b (Printf.sprintf "[\"slot\",%d,%d]" pe slot)
+  | Fault.Rf_reduced (pe, lost) ->
+      Buffer.add_string b (Printf.sprintf "[\"rf\",%d,%d]" pe lost)
+
+let req_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"id\":";
+  buf_str b r.id;
+  (match r.payload with
+  | Kernel name ->
+      Buffer.add_string b ",\"kernel\":";
+      buf_str b name
+  | Inline d ->
+      Buffer.add_string b ",\"dfg\":";
+      buf_dfg b d);
+  Buffer.add_string b (Printf.sprintf ",\"rows\":%d,\"cols\":%d" r.rows r.cols);
+  if r.topology <> "mesh" then begin
+    Buffer.add_string b ",\"topology\":";
+    buf_str b r.topology
+  end;
+  if r.hetero then Buffer.add_string b ",\"hetero\":true";
+  (match r.rf with
+  | Some rf -> Buffer.add_string b (Printf.sprintf ",\"rf\":%d" rf)
+  | None -> ());
+  if r.faults <> [] then begin
+    Buffer.add_string b ",\"faults\":[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char b ',';
+        buf_fault b f)
+      (Fault.canonical r.faults);
+    Buffer.add_char b ']'
+  end;
+  if r.n_faults > 0 then
+    Buffer.add_string b
+      (Printf.sprintf ",\"n_faults\":%d,\"fault_seed\":%d" r.n_faults r.fault_seed);
+  if r.spatial then Buffer.add_string b ",\"spatial\":true";
+  (match r.max_ii with
+  | Some ii -> Buffer.add_string b (Printf.sprintf ",\"max_ii\":%d" ii)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---------- readers ---------- *)
+
+let ( let* ) = Result.bind
+
+let field_int obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S: expected an integer" name))
+
+let field_bool obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S: expected a bool" name))
+
+let field_str_opt obj name =
+  match Json.member name obj with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_string v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S: expected a string" name))
+
+let int_list name v =
+  match Json.to_list v with
+  | None -> Error (Printf.sprintf "%s: expected an array" name)
+  | Some xs ->
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match Json.to_int x with
+          | Some i -> Ok (i :: acc)
+          | None -> Error (Printf.sprintf "%s: expected integers" name))
+        (Ok []) xs
+      |> Result.map List.rev
+
+let parse_fault v =
+  match Json.to_list v with
+  | Some (kind :: coords) -> (
+      let* kind =
+        match Json.to_string kind with
+        | Some s -> Ok s
+        | None -> Error "fault: kind must be a string"
+      in
+      let* coords = int_list "fault coordinates" (Json.Arr coords) in
+      match (kind, coords) with
+      | "pe", [ pe ] -> Ok (Fault.Pe_down pe)
+      | "link", [ s; d ] -> Ok (Fault.Link_down (s, d))
+      | "slot", [ pe; slot ] -> Ok (Fault.Fu_slot_dead (pe, slot))
+      | "rf", [ pe; lost ] -> Ok (Fault.Rf_reduced (pe, lost))
+      | k, _ -> Error (Printf.sprintf "fault: unknown kind/arity %S" k))
+  | _ -> Error "fault: expected [\"kind\", coords...]"
+
+let parse_dfg v =
+  let d = Dfg.create () in
+  let* nodes =
+    match Json.member "nodes" v with
+    | Some n -> (
+        match Json.to_list n with
+        | Some xs -> Ok xs
+        | None -> Error "dfg.nodes: expected an array")
+    | None -> Error "dfg: missing nodes"
+  in
+  let* () =
+    List.fold_left
+      (fun acc node ->
+        let* () = acc in
+        let* code =
+          match Json.member "op" node with
+          | Some (Json.Str s) -> Ok s
+          | _ -> Error "dfg node: missing op"
+        in
+        let* op = op_of_code code in
+        let name =
+          match Json.member "name" node with Some (Json.Str s) -> s | _ -> ""
+        in
+        ignore (Dfg.add ~name d op);
+        Ok ())
+      (Ok ()) nodes
+  in
+  let* edges =
+    match Json.member "edges" v with
+    | Some e -> (
+        match Json.to_list e with
+        | Some xs -> Ok xs
+        | None -> Error "dfg.edges: expected an array")
+    | None -> Ok []
+  in
+  let n = Dfg.node_count d in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* quad = int_list "dfg edge" e in
+        match quad with
+        | [ src; dst; port; dist ] ->
+            if src < 0 || src >= n || dst < 0 || dst >= n then
+              Error (Printf.sprintf "dfg edge %d->%d: node out of range" src dst)
+            else begin
+              Dfg.add_edge ~dist ~port d ~src ~dst;
+              Ok ()
+            end
+        | _ -> Error "dfg edge: expected [src,dst,port,dist]")
+      (Ok ()) edges
+  in
+  Ok d
+
+let parse_req line =
+  let* obj = Json.parse line in
+  let* () = match obj with Json.Obj _ -> Ok () | _ -> Error "expected a JSON object" in
+  let* id =
+    match Json.member "id" obj with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "missing string field \"id\""
+  in
+  let* payload =
+    match (Json.member "kernel" obj, Json.member "dfg" obj) with
+    | Some (Json.Str k), None -> Ok (Kernel k)
+    | None, Some d ->
+        let* d = parse_dfg d in
+        Ok (Inline d)
+    | Some _, Some _ -> Error "give either \"kernel\" or \"dfg\", not both"
+    | _ -> Error "missing payload: \"kernel\" or \"dfg\""
+  in
+  let* rows = field_int obj "rows" default_req.rows in
+  let* cols = field_int obj "cols" default_req.cols in
+  let* topology = field_str_opt obj "topology" in
+  let topology = Option.value topology ~default:default_req.topology in
+  let* hetero = field_bool obj "hetero" default_req.hetero in
+  let* rf =
+    match Json.member "rf" obj with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_int v with
+        | Some i -> Ok (Some i)
+        | None -> Error "field \"rf\": expected an integer")
+  in
+  let* faults =
+    match Json.member "faults" obj with
+    | None -> Ok []
+    | Some v -> (
+        match Json.to_list v with
+        | None -> Error "field \"faults\": expected an array"
+        | Some xs ->
+            List.fold_left
+              (fun acc f ->
+                let* acc = acc in
+                let* f = parse_fault f in
+                Ok (f :: acc))
+              (Ok []) xs
+            |> Result.map List.rev)
+  in
+  let* n_faults = field_int obj "n_faults" 0 in
+  let* fault_seed = field_int obj "fault_seed" default_req.fault_seed in
+  let* spatial = field_bool obj "spatial" false in
+  let* max_ii =
+    match Json.member "max_ii" obj with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_int v with
+        | Some i -> Ok (Some i)
+        | None -> Error "field \"max_ii\": expected an integer")
+  in
+  if rows < 1 || cols < 1 then Error "rows/cols must be >= 1"
+  else
+    Ok
+      {
+        id;
+        payload;
+        rows;
+        cols;
+        topology;
+        hetero;
+        rf;
+        faults;
+        n_faults;
+        fault_seed;
+        spatial;
+        max_ii;
+      }
+
+let to_request ~lookup r =
+  let* dfg =
+    match r.payload with
+    | Inline d -> Ok d
+    | Kernel name -> lookup name
+  in
+  let* topology =
+    match Topology.of_string r.topology with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error m
+  in
+  let cgra =
+    if r.hetero then Cgra.adres_like ?rf_size:r.rf ~topology ~rows:r.rows ~cols:r.cols ()
+    else Cgra.uniform ?rf_size:r.rf ~topology ~rows:r.rows ~cols:r.cols ()
+  in
+  let mask =
+    r.faults
+    @ (if r.n_faults > 0 then Cgra.inject_faults cgra ~seed:r.fault_seed ~n:r.n_faults
+       else [])
+  in
+  let cgra = if mask = [] then cgra else Cgra.with_faults cgra mask in
+  Ok { Svc.id = r.id; dfg; cgra; spatial = r.spatial; max_ii = r.max_ii }
+
+(* ---------- responses ---------- *)
+
+let response_to_json (r : Svc.response) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"id\":";
+  buf_str b r.Svc.id;
+  (match r.Svc.served with
+  | Svc.Rejected ->
+      Buffer.add_string b ",\"status\":\"rejected\"";
+      Buffer.add_string b ",\"note\":";
+      buf_str b r.Svc.note
+  | served ->
+      Buffer.add_string b ",\"status\":\"ok\",\"served\":";
+      buf_str b (Svc.served_to_string served);
+      (match served with
+      | Svc.Repair_hit rung ->
+          Buffer.add_string b ",\"rung\":";
+          buf_str b (Mapper.rung_to_string rung)
+      | _ -> ());
+      (match r.Svc.mapping with
+      | Some m ->
+          Buffer.add_string b (Printf.sprintf ",\"ii\":%d" m.Mapping.ii);
+          Buffer.add_string b ",\"certified\":true,\"binding\":[";
+          Array.iteri
+            (fun i (pe, cyc) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (Printf.sprintf "[%d,%d]" pe cyc))
+            m.Mapping.binding;
+          Buffer.add_char b ']'
+      | None -> ());
+      Buffer.add_string b ",\"note\":";
+      buf_str b r.Svc.note);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let error_to_json ~id msg =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"id\":";
+  buf_str b id;
+  Buffer.add_string b ",\"status\":\"error\",\"error\":";
+  buf_str b msg;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let salvage_id ~line s =
+  let fallback = Printf.sprintf "line-%d" line in
+  match Json.parse s with
+  | Ok obj -> (
+      match Json.member "id" obj with Some (Json.Str id) -> id | _ -> fallback)
+  | Error _ -> fallback

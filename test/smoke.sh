@@ -135,6 +135,62 @@ echo "$INC" | grep -q "II optimal"
 echo "$INC" | grep -q "2 attempts"
 ! echo "$INC" | grep -q "in 0.00s"
 
+# mapping-as-a-service: a stream with duplicates, an isomorphic
+# renaming (saxpy with nodes listed backwards) and a grown fault mask
+# must be served through the cache — hits, an iso-hit and a
+# repair-or-remap — and every response line must be well-formed JSON
+cat > "$TMPD/stream.jsonl" <<'EOF'
+{"id":"s1","kernel":"saxpy"}
+{"id":"s2","kernel":"saxpy"}
+{"id":"iso","dfg":{"nodes":[{"op":"out y","name":"y"},{"op":"add"},{"op":"mul"},{"op":"in y","name":"y"},{"op":"in x","name":"x"},{"op":"const 7"}],"edges":[[5,2,0,0],[4,2,1,0],[2,1,0,0],[3,1,1,0],[1,0,0,0]]}}
+{"id":"f2","kernel":"saxpy","n_faults":2,"fault_seed":3}
+{"id":"f4","kernel":"saxpy","n_faults":4,"fault_seed":3}
+EOF
+"$OCGRA" serve --in "$TMPD/stream.jsonl" --out "$TMPD/resp.jsonl" --batch 1 \
+  | grep -q "serve: 5 requests"
+python3 - "$TMPD/resp.jsonl" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(sys.argv[1])]
+assert [r["id"] for r in rows] == ["s1", "s2", "iso", "f2", "f4"], rows
+assert rows[1]["served"] == "hit", rows[1]
+assert rows[2]["served"] == "iso-hit", rows[2]
+assert all(r["status"] == "ok" for r in rows), rows
+EOF
+
+# serve determinism: the response file and the structured event log
+# must be byte-identical whatever --jobs says — classification is
+# sequential, cold maps run single-worker races in private forks
+# absorbed in a fixed order, and neither artifact carries wall-clock
+"$OCGRA" serve --in "$TMPD/stream.jsonl" --out "$TMPD/r1.jsonl" --batch 2 \
+  --jobs 1 --events "$TMPD/se1.jsonl" > /dev/null
+"$OCGRA" serve --in "$TMPD/stream.jsonl" --out "$TMPD/r4.jsonl" --batch 2 \
+  --jobs 4 --events "$TMPD/se4.jsonl" > /dev/null
+cmp "$TMPD/r1.jsonl" "$TMPD/r4.jsonl"
+cmp "$TMPD/se1.jsonl" "$TMPD/se4.jsonl"
+grep -q '"ev":"svc.request"' "$TMPD/se1.jsonl"
+grep -q '"ev":"svc.batch"' "$TMPD/se1.jsonl"
+
+# malformed request lines get a per-line error response and a nonzero
+# exit — the daemon must never crash on bad input, and must still
+# serve the well-formed lines around it
+cat > "$TMPD/badstream.jsonl" <<'EOF'
+{"id":"good","kernel":"fir4"}
+this is not json
+{"id":"unknown","kernel":"no-such-kernel"}
+{"id":"alsogood","kernel":"fir4"}
+EOF
+if "$OCGRA" serve --in "$TMPD/badstream.jsonl" --out "$TMPD/bad.jsonl" > /dev/null; then
+  echo "serve should exit nonzero on malformed input" >&2
+  exit 1
+fi
+python3 - "$TMPD/bad.jsonl" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(sys.argv[1])]
+assert [r["status"] for r in rows] == ["ok", "error", "error", "ok"], rows
+assert rows[1]["id"] == "line-2", rows[1]
+assert rows[3]["served"] == "hit", rows[3]
+EOF
+
 # incremental repair on the map path: degrading after mapping must
 # certify through a rung and print the diagnosis
 "$OCGRA" map -k saxpy -m modulo-greedy --repair 6 --fault-seed 1 \
